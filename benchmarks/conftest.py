@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one table or figure of the paper.  Results are
+printed and also written to ``benchmarks/output/<name>.txt`` so the
+artifacts survive pytest's output capture.
+
+Budgets: set ``REPRO_BENCH_FAST=1`` to cut every training budget (quick
+smoke of the harness); the default budgets regenerate the full artifacts
+in minutes on a laptop CPU.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+OUTPUT_DIR.mkdir(exist_ok=True)
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+# Epoch budgets per regime.
+EPOCHS_FULL = None if not FAST else 30      # None = zoo-tuned budgets
+EPOCHS_STUDY = 150 if not FAST else 20      # sweeps / ablations / figures
+
+
+def write_artifact(name: str, text: str) -> pathlib.Path:
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(text)
+    print(f"[artifact written to {path}]")
+    return path
+
+
+@pytest.fixture
+def artifact():
+    return write_artifact

@@ -1,0 +1,91 @@
+"""Bring-your-own-data scenario: CSV ingestion + automatic taxonomy.
+
+Shows the full adoption path for a user who has flat interaction and
+item-tag CSV files but *no* tag taxonomy:
+
+1. ingest ``user,item,timestamp`` and ``item,tag`` CSVs;
+2. build a taxonomy automatically from tag co-occurrence (subsumption);
+3. extract the logical relations;
+4. train LogiRec++ and evaluate.
+
+Run:
+    python examples/custom_data.py
+"""
+
+import pathlib
+import tempfile
+
+import numpy as np
+
+from repro.core import LogiRecConfig, LogiRecPP
+from repro.data import (dataset_from_frames, read_interactions_csv,
+                        read_item_tags_csv, temporal_split)
+from repro.data import SyntheticConfig, generate_dataset
+from repro.eval import Evaluator, beyond_accuracy_report
+from repro.taxonomy import build_taxonomy_from_tags, taxonomy_quality
+
+
+def export_reference_csvs(directory: pathlib.Path):
+    """Write a synthetic dataset out as flat CSVs (stand-in for the
+    user's real data) and return the ground-truth taxonomy."""
+    reference = generate_dataset(SyntheticConfig(
+        name="export", n_users=120, n_items=200, depth=3, branching=3,
+        mean_interactions=14.0, ancestor_prob=0.95, extra_tag_prob=0.0,
+        seed=33))
+    inter = directory / "interactions.csv"
+    with open(inter, "w") as f:
+        f.write("user,item,timestamp\n")
+        for u, i, t in zip(reference.user_ids, reference.item_ids,
+                           reference.timestamps):
+            f.write(f"u{u},i{i},{t}\n")
+    tags = directory / "item_tags.csv"
+    coo = reference.item_tags.tocoo()
+    with open(tags, "w") as f:
+        f.write("item,tag\n")
+        for i, t in zip(coo.row, coo.col):
+            f.write(f"i{i},t{t}\n")
+    return inter, tags, reference
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = pathlib.Path(tmp)
+        inter_csv, tags_csv, reference = export_reference_csvs(directory)
+
+        # 1. Ingest flat CSVs with dense id remapping.
+        users, items, times, user_map, item_map = read_interactions_csv(
+            str(inter_csv))
+        q, tag_map = read_item_tags_csv(str(tags_csv), item_map)
+        print(f"Ingested {len(users)} interactions, "
+              f"{len(user_map)} users, {len(item_map)} items, "
+              f"{len(tag_map)} tags.")
+
+        # 2. No taxonomy supplied: build one from co-occurrence.
+        taxonomy = build_taxonomy_from_tags(q, subsumption_threshold=0.7)
+        quality = taxonomy_quality(taxonomy, reference.taxonomy)
+        print(f"Auto-built taxonomy: depth={taxonomy.depth}, "
+              f"{len(taxonomy.roots)} roots; vs ground truth "
+              f"precision={quality['precision']:.2f} "
+              f"recall={quality['recall']:.2f}")
+
+        # 3. Assemble the dataset; relations are extracted automatically.
+        dataset = dataset_from_frames(users, items, times, q, taxonomy,
+                                      name="custom")
+        print("Extracted relations:", dataset.relations.counts)
+
+        # 4. Train and evaluate.
+        split = temporal_split(dataset)
+        evaluator = Evaluator(dataset, split)
+        model = LogiRecPP(dataset.n_users, dataset.n_items,
+                          dataset.n_tags,
+                          LogiRecConfig(dim=16, epochs=120, lam=1.0,
+                                        seed=0))
+        model.fit(dataset, split, evaluator=evaluator)
+        print("Test metrics:", evaluator.evaluate_test(model).summary())
+        report = beyond_accuracy_report(model, dataset, split, k=10)
+        print("Beyond-accuracy:",
+              {k: round(v, 3) for k, v in report.items()})
+
+
+if __name__ == "__main__":
+    main()

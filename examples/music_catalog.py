@@ -1,0 +1,141 @@
+"""Music-catalog scenario: the paper's Fig. 1 worked end-to-end.
+
+Builds the exact taxonomy of the paper's introduction (<Rock>,
+<Classical>, <Punk Rock>, <Alternative Rock>, <British/American
+Alternative>, ...), plants users shaped like the paper's Tom / Linda /
+Lisa (diverse vs consistent vs fine-grained), trains LogiRec++, and shows:
+
+* that the consistency weight CON separates Linda-like from Tom-like users;
+* that granularity GR separates Lisa-like (deep-focus) users;
+* which logical relations the model softened (relation mining).
+
+Run:
+    python examples/music_catalog.py
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core import LogiRecConfig, LogiRecPP
+from repro.data import InteractionDataset, temporal_split
+from repro.taxonomy import Taxonomy, extract_relations
+
+NAMES = ["<Music>", "<Rock>", "<Classical>", "<Punk Rock>",
+         "<Alternative Rock>", "<Ballets & Dances>",
+         "<British Alternative>", "<American Alternative>"]
+PARENTS = [-1, 0, 0, 1, 1, 2, 4, 4]
+LEAVES = [3, 5, 6, 7]  # Punk, Ballets, British Alt, American Alt
+
+N_ITEMS_PER_LEAF = 15
+N_USERS_PER_TYPE = 12
+INTERACTIONS_PER_USER = 12
+
+
+def build_dataset(seed: int = 0) -> InteractionDataset:
+    rng = np.random.default_rng(seed)
+    taxonomy = Taxonomy(PARENTS, NAMES)
+    n_items = N_ITEMS_PER_LEAF * len(LEAVES)
+
+    # Items: each leaf owns a block; items carry leaf + all ancestors.
+    rows, cols = [], []
+    item_leaf = {}
+    for block, leaf in enumerate(LEAVES):
+        for offset in range(N_ITEMS_PER_LEAF):
+            item = block * N_ITEMS_PER_LEAF + offset
+            item_leaf[item] = leaf
+            for tag in [leaf] + taxonomy.ancestors(leaf):
+                rows.append(item)
+                cols.append(tag)
+    q = sp.coo_matrix((np.ones(len(rows)), (rows, cols)),
+                      shape=(n_items, taxonomy.n_tags)).tocsr()
+
+    # Three planted user archetypes:
+    #   Tom:   diverse — items from every leaf (exclusions everywhere);
+    #   Linda: consistent within <Rock> (Punk + both Alternatives);
+    #   Lisa:  fine-grained — only <British Alternative>.
+    leaf_items = {leaf: [i for i, l in item_leaf.items() if l == leaf]
+                  for leaf in LEAVES}
+    rock_leaves = [3, 6, 7]
+    archetypes = {
+        "tom": lambda: rng.choice(LEAVES),
+        "linda": lambda: rng.choice(rock_leaves),
+        "lisa": lambda: 6,
+    }
+    users, items, times = [], [], []
+    user_type = []
+    uid = 0
+    for kind, pick_leaf in archetypes.items():
+        for _ in range(N_USERS_PER_TYPE):
+            chosen = set()
+            t = 0
+            while len(chosen) < INTERACTIONS_PER_USER:
+                item = int(rng.choice(leaf_items[int(pick_leaf())]))
+                if item in chosen:
+                    continue
+                chosen.add(item)
+                users.append(uid)
+                items.append(item)
+                times.append(t)
+                t += 1
+            user_type.append(kind)
+            uid += 1
+
+    dataset = InteractionDataset(
+        np.asarray(users), np.asarray(items), np.asarray(times),
+        n_users=uid, n_items=n_items, item_tags=q, taxonomy=taxonomy,
+        relations=extract_relations(taxonomy, q), name="music")
+    dataset.user_type = user_type
+    return dataset
+
+
+def main() -> None:
+    dataset = build_dataset()
+    split = temporal_split(dataset)
+    print("Logical relations extracted:", dataset.relations.counts)
+    exclusive = [(dataset.taxonomy.names[i], dataset.taxonomy.names[j])
+                 for i, j in dataset.relations.exclusion]
+    print("Exclusive tag pairs:", exclusive)
+
+    config = LogiRecConfig(dim=8, epochs=150, lam=1.0, seed=0)
+    model = LogiRecPP(dataset.n_users, dataset.n_items, dataset.n_tags,
+                      config)
+    model.fit(dataset, split)
+
+    weights = model.user_weights()
+    kinds = np.asarray(dataset.user_type)
+    print("\nBehaviour-driven weights by planted archetype "
+          "(mean over users):")
+    for kind in ("tom", "linda", "lisa"):
+        mask = kinds == kind
+        print(f"  {kind:6s} CON={weights['con'][mask].mean():.3f} "
+              f"GR={weights['gr'][mask].mean():.3f} "
+              f"alpha={weights['alpha'][mask].mean():.3f}")
+    print("Expected: Tom (diverse) lowest CON and lowest overall weight "
+          "alpha; Linda and Lisa progressively higher alpha.")
+
+    # Relation-mining readout: Punk vs Alternative (both rebellious rock)
+    # should end up less separated than Rock vs Classical.
+    margins = model.exclusion_margins()
+    pairs = dataset.relations.exclusion
+    by_name = {}
+    for (i, j), margin in zip(pairs, margins):
+        key = (dataset.taxonomy.names[i], dataset.taxonomy.names[j])
+        by_name[key] = margin
+    print("\nGeometric separation per exclusive pair "
+          "(higher = more exclusive):")
+    for key, margin in sorted(by_name.items(), key=lambda kv: -kv[1]):
+        print(f"  {key[0]} vs {key[1]}: {margin:+.3f}")
+
+    # A Linda-like user must not be recommended <Classical> items.
+    linda = int(np.where(kinds == "linda")[0][0])
+    seen = dataset.items_of_user(split.train).get(linda, [])
+    recs = model.recommend(linda, k=8, exclude=seen)
+    classical_items = {i for i in range(dataset.n_items)
+                       if dataset.item_tags[i, 2] > 0}
+    hits = len(set(recs.tolist()) & classical_items)
+    print(f"\nLinda-like user top-8: {recs.tolist()} — "
+          f"{hits} classical items recommended (want 0 or near 0)")
+
+
+if __name__ == "__main__":
+    main()

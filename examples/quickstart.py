@@ -1,0 +1,68 @@
+"""Quickstart: train LogiRec++ on a synthetic CD-like dataset and inspect
+its recommendations, logical relations, and user weights.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import LogiRecConfig, LogiRecPP
+from repro.data import load_dataset, temporal_split
+from repro.eval import Evaluator
+
+
+def main() -> None:
+    # 1. Data: a bench-scale synthetic mirror of Amazon CDs & Vinyl, with
+    #    a 4-level tag taxonomy and the paper's 60/20/20 temporal split.
+    dataset = load_dataset("cd")
+    split = temporal_split(dataset)
+    print("Dataset:", dataset)
+    print("Table-I statistics:", dataset.statistics())
+
+    # 2. Model: LogiRec++ with the tuned defaults (tangent-space
+    #    parameterization, Adam, lambda = 5 on cd).
+    config = LogiRecConfig(dim=16, epochs=120, lam=5.0, seed=0)
+    model = LogiRecPP(dataset.n_users, dataset.n_items, dataset.n_tags,
+                      config)
+
+    # 3. Train with validation-based best-epoch selection.
+    evaluator = Evaluator(dataset, split)
+    model.fit(dataset, split, evaluator=evaluator)
+
+    # 4. Evaluate on the held-out test interactions (full ranking).
+    result = evaluator.evaluate_test(model)
+    print("\nTest metrics (%):", result.summary())
+
+    # 5. Recommend for one user, masking training items.
+    user = int(result.user_ids[0])
+    seen = dataset.items_of_user(split.train).get(user, [])
+    recommendations = model.recommend(user, k=5, exclude=seen)
+    taxonomy = dataset.taxonomy
+    print(f"\nTop-5 for user {user}:")
+    for item in recommendations:
+        tags = dataset.tags_of_items(np.array([item]))[0]
+        names = ", ".join(taxonomy.names[t] for t in tags)
+        print(f"  item {item:4d}  tags: {names}")
+
+    # 6. Inspect the behaviour-driven weights of Eq. 12-14.
+    weights = model.user_weights()
+    print(f"\nUser {user}: CON={weights['con'][user]:.2f} "
+          f"GR={weights['gr'][user]:.2f} alpha={weights['alpha'][user]:.2f}")
+
+    # 7. Relation mining readout: which structurally "exclusive" tag pairs
+    #    did training decide to soften (negative margin = overlapping)?
+    margins = model.exclusion_margins()
+    softened = int((margins < 0).sum())
+    print(f"\nExclusive tag pairs softened by training: "
+          f"{softened}/{len(margins)}")
+
+    # 8. Render the Fig. 7/8-style embedding scatter to a standalone SVG.
+    from repro.viz import save_embedding_figure
+    figure_path = save_embedding_figure(model, dataset,
+                                        "quickstart_embeddings.svg")
+    print(f"Embedding figure written to {figure_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Relation-mining scenario: recovering mislabelled exclusions.
+
+The structural extraction rule calls sibling tags "exclusive" whenever
+they share no child tag — even when their item sets genuinely overlap
+(the paper's <Heavy Metal> vs <Metal> example).  This script plants a
+large fraction of such overlapping sibling pairs, trains LogiRec (no
+mining) and LogiRec++ (with mining), and measures how well each model's
+learned geometry distinguishes truly exclusive pairs from mislabelled
+ones — the quantitative core of the paper's Fig. 7/8 and case studies.
+
+Run:
+    python examples/relation_mining.py
+"""
+
+import numpy as np
+
+from repro.core import LogiRec, LogiRecConfig, LogiRecPP
+from repro.data import SyntheticConfig, generate_dataset, temporal_split
+from repro.experiments import tag_separation_scores
+from repro.eval import Evaluator
+
+
+def margin_split(model, dataset):
+    """Mean geometric exclusion margin for true vs mislabelled pairs."""
+    margins = model.exclusion_margins()
+    pairs = dataset.relations.exclusion
+    overlap = {frozenset(map(int, p)) for p in dataset.overlapping_pairs}
+    flags = np.array([frozenset(map(int, p)) in overlap for p in pairs])
+    return margins[~flags].mean(), margins[flags].mean()
+
+
+def main() -> None:
+    dataset = generate_dataset(SyntheticConfig(
+        name="noisy-taxonomy", n_users=200, n_items=300, depth=4,
+        branching=3, n_roots=2, mean_interactions=14.0,
+        overlap_pair_frac=0.4, overlap_item_frac=0.6, seed=21))
+    split = temporal_split(dataset)
+    evaluator = Evaluator(dataset, split)
+    n_overlap = len(dataset.overlapping_pairs)
+    n_total = len(dataset.relations.exclusion)
+    print(f"Planted {n_overlap} overlapping (mislabelled-exclusive) "
+          f"sibling pairs out of {n_total} extracted exclusions.\n")
+
+    config = LogiRecConfig(dim=16, epochs=150, lam=2.0, seed=0)
+    results = {}
+    for name, cls in [("LogiRec", LogiRec), ("LogiRec++", LogiRecPP)]:
+        model = cls(dataset.n_users, dataset.n_items, dataset.n_tags,
+                    config)
+        model.fit(dataset, split, evaluator=evaluator)
+        true_m, overlap_m = margin_split(model, dataset)
+        test = evaluator.evaluate_test(model)
+        separation = tag_separation_scores(model, dataset)
+        results[name] = (true_m, overlap_m, test, separation)
+        print(f"{name}:")
+        print(f"  exclusion margin  true pairs: {true_m:+.3f}   "
+              f"mislabelled pairs: {overlap_m:+.3f}   "
+              f"gap: {true_m - overlap_m:+.3f}")
+        print(f"  item-cluster separation  true: "
+              f"{separation['mean_true_exclusive']:+.3f}   "
+              f"mislabelled: {separation['mean_overlapping']:+.3f}")
+        print(f"  test metrics: {test.summary()}\n")
+
+    gap_plain = results["LogiRec"][0] - results["LogiRec"][1]
+    gap_pp = results["LogiRec++"][0] - results["LogiRec++"][1]
+    print("Mining effect (margin gap true-vs-mislabelled): "
+          f"LogiRec {gap_plain:+.3f} -> LogiRec++ {gap_pp:+.3f}")
+    print("A larger gap means the model learned to keep genuine "
+          "exclusions apart while letting mislabelled ones overlap — "
+          "the paper's 'refined logical relations'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerate every artifact of the reproduction from scratch.
+#
+# Usage: bash scripts/reproduce_all.sh [--fast]
+#   --fast  cut every training budget (smoke-run of the harness)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fast" ]]; then
+    export REPRO_BENCH_FAST=1
+    echo "[fast mode: reduced budgets]"
+fi
+
+echo "== tests =="
+pytest tests/ 2>&1 | tee test_output.txt | tail -2
+
+echo "== benchmarks (tables + figures) =="
+pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt | tail -4
+
+echo "== examples =="
+python examples/quickstart.py
+python examples/music_catalog.py
+python examples/relation_mining.py
+python examples/custom_data.py
+python examples/compare_models.py ciao --fast
+
+echo "Artifacts: benchmarks/output/*.txt, test_output.txt, bench_output.txt"

@@ -1,0 +1,47 @@
+"""LogiRec / LogiRec++ — logical relation modeling and mining in
+hyperbolic space for recommendation (ICDE 2024), reproduced from scratch.
+
+Public API highlights:
+
+* :class:`repro.core.LogiRec` / :class:`repro.core.LogiRecPP` — the
+  paper's models (objectives Eq. 10 / Eq. 15);
+* :mod:`repro.models` — the 13 baselines of the paper's Table II;
+* :mod:`repro.data` — synthetic datasets mirroring the four benchmarks;
+* :mod:`repro.eval` — unsampled Recall/NDCG@K and Wilcoxon testing;
+* :mod:`repro.experiments` — regenerate every table and figure.
+
+Quickstart::
+
+    from repro.core import LogiRecPP, LogiRecConfig
+    from repro.data import load_dataset, temporal_split
+    from repro.eval import Evaluator
+
+    dataset = load_dataset("cd")
+    split = temporal_split(dataset)
+    model = LogiRecPP(dataset.n_users, dataset.n_items, dataset.n_tags,
+                      LogiRecConfig(epochs=120, lam=5.0))
+    model.fit(dataset, split, evaluator=Evaluator(dataset, split))
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import LogiRec, LogiRecConfig, LogiRecPP
+from repro.data import (InteractionDataset, SyntheticConfig,
+                        generate_dataset, load_dataset, temporal_split)
+from repro.eval import Evaluator
+from repro.taxonomy import Taxonomy, extract_relations
+
+__all__ = [
+    "LogiRec",
+    "LogiRecPP",
+    "LogiRecConfig",
+    "InteractionDataset",
+    "SyntheticConfig",
+    "generate_dataset",
+    "load_dataset",
+    "temporal_split",
+    "Evaluator",
+    "Taxonomy",
+    "extract_relations",
+    "__version__",
+]

@@ -1,0 +1,130 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+stats        Print Table-I statistics for the named datasets.
+train        Train one zoo model on one dataset and report test metrics.
+compare      Run a Table-II style comparison.
+ablation     Run the Table-III ablation variants.
+cases        Print Table-V style case studies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="cd",
+                        choices=["ciao", "cd", "clothing", "book"])
+    parser.add_argument("--epochs", type=int, default=None,
+                        help="override the tuned epoch budget")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LogiRec/LogiRec++ reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="dataset statistics (Table I)")
+    stats.add_argument("--datasets", nargs="*",
+                       default=["ciao", "cd", "clothing", "book"])
+
+    train = sub.add_parser("train", help="train one model")
+    train.add_argument("model", help="zoo model name, e.g. LogiRec++")
+    _add_common(train)
+
+    compare = sub.add_parser("compare", help="Table-II comparison")
+    compare.add_argument("--models", nargs="*", default=None)
+    compare.add_argument("--datasets", nargs="*", default=["ciao", "cd"])
+    compare.add_argument("--epochs", type=int, default=None)
+    compare.add_argument("--seeds", nargs="*", type=int, default=[0])
+
+    ablation = sub.add_parser("ablation", help="Table-III ablations")
+    _add_common(ablation)
+
+    cases = sub.add_parser("cases", help="Table-V case studies")
+    _add_common(cases)
+    return parser
+
+
+def cmd_stats(args) -> int:
+    from repro.data import dataset_statistics
+    for row in dataset_statistics(args.datasets):
+        print(row)
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.data import load_dataset, temporal_split
+    from repro.eval import Evaluator
+    from repro.experiments import build_model
+    dataset = load_dataset(args.dataset)
+    split = temporal_split(dataset)
+    model = build_model(args.model, dataset, seed=args.seed)
+    if args.epochs is not None:
+        model.config.epochs = args.epochs
+    evaluator = Evaluator(dataset, split)
+    model.fit(dataset, split, evaluator=evaluator)
+    result = evaluator.evaluate_test(model)
+    print(f"{args.model} on {args.dataset}: {result.summary()}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.experiments import format_comparison_table, run_comparison
+    results = run_comparison(model_names=args.models,
+                             dataset_names=args.datasets,
+                             seeds=tuple(args.seeds),
+                             epochs_override=args.epochs)
+    print(format_comparison_table(results))
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    from repro.experiments import run_ablation
+    from repro.experiments.ablation import format_ablation_table
+    results = run_ablation(dataset_names=[args.dataset],
+                           epochs=args.epochs)
+    print(format_ablation_table(results))
+    return 0
+
+
+def cmd_cases(args) -> int:
+    from repro.core import LogiRecConfig, LogiRecPP
+    from repro.data import load_dataset, temporal_split
+    from repro.eval import Evaluator
+    from repro.experiments import case_studies
+    from repro.experiments.cases import format_case_table
+    from repro.experiments.runner import LAMBDA_BY_DATASET
+    dataset = load_dataset(args.dataset)
+    split = temporal_split(dataset)
+    config = LogiRecConfig(
+        epochs=args.epochs if args.epochs else 150,
+        lam=LAMBDA_BY_DATASET.get(args.dataset, 1.0), seed=args.seed)
+    model = LogiRecPP(dataset.n_users, dataset.n_items, dataset.n_tags,
+                      config)
+    model.fit(dataset, split, evaluator=Evaluator(dataset, split))
+    print(format_case_table(case_studies(model, dataset, split)))
+    return 0
+
+
+COMMANDS = {
+    "stats": cmd_stats,
+    "train": cmd_train,
+    "compare": cmd_compare,
+    "ablation": cmd_ablation,
+    "cases": cmd_cases,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""The paper's contribution: LogiRec and LogiRec++.
+
+* :mod:`repro.core.losses` — the four objectives: membership (Eq. 3),
+  hierarchy (Eq. 4), exclusion (Eq. 5), and the LMNN recommendation loss
+  over Lorentzian distances (Eq. 9);
+* :mod:`repro.core.hgcn` — the hyperbolic graph convolution (Eq. 6-8);
+* :mod:`repro.core.weighting` — consistency CON (Eq. 11-12), granularity
+  GR (Eq. 13), and the personalized weight alpha (Eq. 14);
+* :mod:`repro.core.logirec` — LogiRec (objective Eq. 10) with ablation
+  switches, and LogiRecPP (objective Eq. 15).
+"""
+
+from repro.core.config import LogiRecConfig
+from repro.core.losses import (
+    exclusion_loss,
+    hierarchy_loss,
+    membership_loss,
+    recommendation_loss,
+)
+from repro.core.hgcn import hyperbolic_gcn, euclidean_gcn
+from repro.core.weighting import (
+    consistency_weights,
+    granularity_weights,
+    personalized_weights,
+    tag_frequencies,
+)
+from repro.core.extensions import (
+    classify_relations,
+    intersection_loss,
+    mined_relation_report,
+)
+from repro.core.logirec import LogiRec
+from repro.core.logirec_pp import LogiRecPP
+
+__all__ = [
+    "LogiRecConfig",
+    "membership_loss",
+    "hierarchy_loss",
+    "exclusion_loss",
+    "recommendation_loss",
+    "hyperbolic_gcn",
+    "euclidean_gcn",
+    "tag_frequencies",
+    "consistency_weights",
+    "granularity_weights",
+    "personalized_weights",
+    "LogiRec",
+    "LogiRecPP",
+    "intersection_loss",
+    "classify_relations",
+    "mined_relation_report",
+]

@@ -1,0 +1,41 @@
+"""Configuration for LogiRec / LogiRec++."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import TrainConfig
+
+
+@dataclass
+class LogiRecConfig(TrainConfig):
+    """Hyperparameters of Eq. 10 / Eq. 15 plus ablation switches.
+
+    Paper-tuned defaults: λ=0.1 (0.1 on Ciao/CD, 1.0 on Clothing/Book),
+    margin m=0.1, L=3 graph layers, η=4 taxonomy levels.
+
+    Ablation switches map one-to-one onto Table III's variants:
+    ``use_membership`` (w/o L_Mem), ``use_hierarchy`` (w/o L_Hie),
+    ``use_exclusion`` (w/o L_Ex), ``n_layers=0`` (w/o HGCN); w/o LRM is
+    simply :class:`~repro.core.LogiRec` instead of LogiRecPP; w/o Hyper is
+    ``hyperbolic=False`` (all-Euclidean variant).
+    """
+
+    lr: float = 0.01           # Adam step size (tangent parameterization)
+    lam: float = 1.0           # λ, weight of the logical-relation losses
+    n_layers: int = 3          # L, graph convolution depth (0 disables HGCN)
+    use_membership: bool = True
+    use_hierarchy: bool = True
+    use_exclusion: bool = True
+    hyperbolic: bool = True    # False = the paper's "w/o Hyper" variant
+    # "tangent": Euclidean parameters mapped through expmap0 inside the
+    # forward pass, optimized with Adam (the Chami et al. HGCN trick —
+    # markedly more stable on small batches).  "manifold": points live on
+    # the manifold and are optimized with Riemannian SGD (Section V-C,
+    # kept for the optimizer ablation bench).
+    parameterization: str = "tangent"
+    # LogiRec++ only:
+    use_consistency: bool = True   # CON term of alpha (Eq. 12)
+    use_granularity: bool = True   # GR term of alpha (Eq. 13)
+    normalize_weights: bool = True  # rescale alpha to mean 1 for stability
+    eta: int = 4               # η, total taxonomy levels assumed by Eq. 12

@@ -1,0 +1,115 @@
+"""Extensions beyond the paper's main body.
+
+The conclusion lists *intersection* — a fourth set-theoretic relation —
+as future work.  Geometrically, two tags intersect when their enclosing
+balls overlap **partially**: neither disjoint (exclusion) nor nested
+(hierarchy).  :func:`intersection_loss` implements the corresponding
+two-sided hinge, and :func:`classify_relations` provides the inverse
+readout — given trained tag balls, label every tag pair with the logical
+relation its geometry expresses, which is how "mined" relations are
+materialized for inspection (the case studies of Section VI-E).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.losses import TagBalls
+from repro.manifolds.hyperplane import enclosing_ball_np
+from repro.tensor import Tensor, clamp_min, gather_rows, maximum, norm
+
+
+def intersection_loss(tag_balls: TagBalls,
+                      intersection_pairs: np.ndarray,
+                      slack: float = 0.0) -> Tensor:
+    """Two-sided hinge making ball pairs *partially* overlap.
+
+    For a pair (i, j) that should intersect (e.g. <Romantic Suspense>
+    belongs to both <Romance> and <Mystery>):
+
+    * they must not be disjoint:      ``||o_i - o_j|| < r_i + r_j``
+    * neither may contain the other:  ``||o_i - o_j|| > |r_i - r_j|``
+
+    Both constraints relax into hinges; ``slack`` widens the feasible
+    band to avoid oscillation exactly at the boundary.
+    """
+    if len(intersection_pairs) == 0:
+        return Tensor(0.0)
+    o_all, r_all = tag_balls
+    o_i = gather_rows(o_all, intersection_pairs[:, 0])
+    o_j = gather_rows(o_all, intersection_pairs[:, 1])
+    r_i = gather_rows(r_all, intersection_pairs[:, 0]).reshape(-1)
+    r_j = gather_rows(r_all, intersection_pairs[:, 1]).reshape(-1)
+    gap = norm(o_i - o_j, axis=-1)
+    # Must overlap: gap <= r_i + r_j - slack.
+    too_far = clamp_min(gap - (r_i + r_j) + slack, 0.0)
+    # Must not nest: gap >= |r_i - r_j| + slack.
+    radius_diff = maximum(r_i - r_j, r_j - r_i)
+    too_nested = clamp_min(radius_diff - gap + slack, 0.0)
+    return (too_far + too_nested).mean()
+
+
+RELATION_LABELS = ("exclusion", "hierarchy_i_contains_j",
+                   "hierarchy_j_contains_i", "intersection")
+
+
+def classify_pair(o_i: np.ndarray, r_i: float, o_j: np.ndarray,
+                  r_j: float) -> str:
+    """Label one tag pair by its ball geometry (Lemmas 1-3 inverted)."""
+    gap = float(np.linalg.norm(o_i - o_j))
+    if r_i + r_j < gap:
+        return "exclusion"
+    if gap + r_j < r_i:
+        return "hierarchy_i_contains_j"
+    if gap + r_i < r_j:
+        return "hierarchy_j_contains_i"
+    return "intersection"
+
+
+def classify_relations(tag_centers: np.ndarray,
+                       pairs: np.ndarray) -> List[str]:
+    """Geometric relation label for each tag-id pair.
+
+    ``tag_centers`` are Poincare hyperplane centers (as stored by a
+    trained LogiRec model); ``pairs`` is ``(n, 2)`` int.
+    """
+    o, r = enclosing_ball_np(tag_centers)
+    labels = []
+    for i, j in pairs:
+        labels.append(classify_pair(o[i], float(r[i, 0]),
+                                    o[j], float(r[j, 0])))
+    return labels
+
+
+def mined_relation_report(model, dataset) -> Dict[str, object]:
+    """Compare extracted vs geometrically mined relations after training.
+
+    For every *extracted-exclusive* pair, reports what relation the
+    trained geometry actually expresses, split by whether the pair was
+    planted as overlapping (mislabelled) in the synthetic data.  A good
+    miner keeps genuine exclusions labelled ``exclusion`` while moving
+    mislabelled ones to ``intersection``.
+    """
+    o, r = model.tag_ball_arrays()
+    pairs = dataset.relations.exclusion
+    overlap = {frozenset(map(int, p))
+               for p in getattr(dataset, "overlapping_pairs", [])}
+    rows: List[Tuple[Tuple[int, int], str, bool]] = []
+    for i, j in pairs:
+        label = classify_pair(o[i], float(r[i, 0]), o[j], float(r[j, 0]))
+        rows.append(((int(i), int(j)), label,
+                     frozenset((int(i), int(j))) in overlap))
+    kept = sum(1 for _, label, is_overlap in rows
+               if label == "exclusion" and not is_overlap)
+    softened = sum(1 for _, label, is_overlap in rows
+                   if label != "exclusion" and is_overlap)
+    genuine = sum(1 for _, _, is_overlap in rows if not is_overlap)
+    planted = sum(1 for _, _, is_overlap in rows if is_overlap)
+    return {
+        "rows": rows,
+        "kept_genuine_frac": kept / genuine if genuine else 0.0,
+        "softened_mislabelled_frac": softened / planted if planted
+        else 0.0,
+    }

@@ -1,0 +1,114 @@
+"""The four LogiRec objectives (Eq. 3, 4, 5, 9).
+
+The three logical losses are hinge relaxations of the geometric predicates
+of Lemmas 1-3.  They operate on *tag balls* — a pair of tensors
+``(o, r)`` with ``o`` of shape ``(n_tags, d)`` and ``r`` of shape
+``(n_tags, 1)``:
+
+* in hyperbolic mode these are the enclosing d-balls of the tags' Poincare
+  hyperplanes (:func:`repro.manifolds.enclosing_ball` applied to the
+  learnable centers);
+* in the "w/o Hyper" Euclidean ablation they are plain Euclidean balls
+  with directly learnable radii.
+
+The recommendation loss is the LMNN triplet hinge over Lorentzian
+distances (Eq. 9); Eq. 15's user-weighted form is obtained by passing
+``user_weights``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.manifolds import Lorentz
+from repro.tensor import Tensor, clamp_min, gather_rows, norm
+
+TagBalls = Tuple[Tensor, Tensor]
+
+
+def membership_loss(item_points: Tensor, tag_balls: TagBalls,
+                    membership_pairs: np.ndarray) -> Tensor:
+    """Eq. 3: mean hinge on ``||v_i - o_t|| - r_t`` over (item, tag) pairs."""
+    if len(membership_pairs) == 0:
+        return Tensor(0.0)
+    o_all, r_all = tag_balls
+    items = gather_rows(item_points, membership_pairs[:, 0])
+    o = gather_rows(o_all, membership_pairs[:, 1])
+    r = gather_rows(r_all, membership_pairs[:, 1]).reshape(-1)
+    violation = norm(items - o, axis=-1) - r
+    return clamp_min(violation, 0.0).mean()
+
+
+def hierarchy_loss(tag_balls: TagBalls,
+                   hierarchy_pairs: np.ndarray) -> Tensor:
+    """Eq. 4: mean hinge on ``||o_p - o_c|| + r_c - r_p``
+    (parent ball must contain child ball, Lemma 2)."""
+    if len(hierarchy_pairs) == 0:
+        return Tensor(0.0)
+    o_all, r_all = tag_balls
+    o_p = gather_rows(o_all, hierarchy_pairs[:, 0])
+    o_c = gather_rows(o_all, hierarchy_pairs[:, 1])
+    r_p = gather_rows(r_all, hierarchy_pairs[:, 0]).reshape(-1)
+    r_c = gather_rows(r_all, hierarchy_pairs[:, 1]).reshape(-1)
+    violation = norm(o_p - o_c, axis=-1) + r_c - r_p
+    return clamp_min(violation, 0.0).mean()
+
+
+def exclusion_loss(tag_balls: TagBalls, exclusion_pairs: np.ndarray,
+                   pair_weights: Optional[np.ndarray] = None) -> Tensor:
+    """Eq. 5: mean hinge on ``r_i + r_j - ||o_i - o_j||``
+    (sibling balls must be disjoint, Lemma 3).
+
+    ``pair_weights`` lets relation-mining analyses soften mislabelled
+    exclusions explicitly (used by the ablation benches; LogiRec++ itself
+    softens them implicitly through the user weights of Eq. 15).
+    """
+    if len(exclusion_pairs) == 0:
+        return Tensor(0.0)
+    o_all, r_all = tag_balls
+    o_i = gather_rows(o_all, exclusion_pairs[:, 0])
+    o_j = gather_rows(o_all, exclusion_pairs[:, 1])
+    r_i = gather_rows(r_all, exclusion_pairs[:, 0]).reshape(-1)
+    r_j = gather_rows(r_all, exclusion_pairs[:, 1]).reshape(-1)
+    violation = r_i + r_j - norm(o_i - o_j, axis=-1)
+    hinge = clamp_min(violation, 0.0)
+    if pair_weights is not None:
+        hinge = hinge * Tensor(np.asarray(pair_weights, dtype=np.float64))
+    return hinge.mean()
+
+
+def recommendation_loss(user_emb: Tensor, pos_emb: Tensor, neg_emb: Tensor,
+                        margin: float,
+                        user_weights: Optional[np.ndarray] = None) -> Tensor:
+    """Eq. 9 (and its weighted Eq. 15 form): LMNN hinge over ``d_H``.
+
+    ``L = mean [m + d(u, v_p) - d(u, v_q)]_+``, optionally scaled
+    per-triplet by alpha of the triplet's user.
+
+    Distances are the squared Lorentzian distance (Law et al., 2019) — a
+    smooth monotone surrogate of the geodesic ``arcosh`` distance whose
+    gradient stays bounded near coincident points; the geodesic version's
+    gradient diverges there, which in practice stalls RSGD (see
+    :meth:`repro.manifolds.Lorentz.sqdist`).
+    """
+    d_pos = Lorentz.sqdist(user_emb, pos_emb)
+    d_neg = Lorentz.sqdist(user_emb, neg_emb)
+    hinge = clamp_min(margin + d_pos - d_neg, 0.0)
+    if user_weights is not None:
+        hinge = hinge * Tensor(np.asarray(user_weights, dtype=np.float64))
+    return hinge.mean()
+
+
+def euclidean_recommendation_loss(user_emb: Tensor, pos_emb: Tensor,
+                                  neg_emb: Tensor, margin: float,
+                                  user_weights: Optional[np.ndarray] = None
+                                  ) -> Tensor:
+    """Euclidean twin of Eq. 9 for the "w/o Hyper" ablation."""
+    d_pos = norm(user_emb - pos_emb, axis=-1)
+    d_neg = norm(user_emb - neg_emb, axis=-1)
+    hinge = clamp_min(margin + d_pos - d_neg, 0.0)
+    if user_weights is not None:
+        hinge = hinge * Tensor(np.asarray(user_weights, dtype=np.float64))
+    return hinge.mean()

@@ -1,0 +1,164 @@
+"""Core dataset containers.
+
+:class:`InteractionDataset` bundles implicit-feedback interactions (user,
+item, timestamp), the item-tag matrix Q, the tag taxonomy, and the extracted
+logical relations.  :class:`Split` holds the temporal train/valid/test
+partition of interaction indices (the paper's 60/20/20 per-user protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.taxonomy import LogicalRelations, Taxonomy, extract_relations
+
+
+@dataclass
+class Split:
+    """Index arrays into an :class:`InteractionDataset`'s interaction list."""
+
+    train: np.ndarray
+    valid: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self):
+        self.train = np.asarray(self.train, dtype=np.int64)
+        self.valid = np.asarray(self.valid, dtype=np.int64)
+        self.test = np.asarray(self.test, dtype=np.int64)
+
+
+class InteractionDataset:
+    """Implicit-feedback interactions with tag side information.
+
+    Parameters
+    ----------
+    user_ids, item_ids, timestamps:
+        Parallel arrays, one entry per interaction.
+    n_users, n_items:
+        Universe sizes (ids are dense in ``[0, n)``).
+    item_tags:
+        Sparse ``(n_items, n_tags)`` binary matrix Q.
+    taxonomy:
+        The tag forest.
+    relations:
+        Pre-extracted logical relations; extracted on demand if omitted.
+    name:
+        Optional dataset name for reporting.
+    """
+
+    def __init__(self, user_ids: np.ndarray, item_ids: np.ndarray,
+                 timestamps: np.ndarray, n_users: int, n_items: int,
+                 item_tags: sp.spmatrix, taxonomy: Taxonomy,
+                 relations: Optional[LogicalRelations] = None,
+                 name: str = "dataset"):
+        self.user_ids = np.asarray(user_ids, dtype=np.int64)
+        self.item_ids = np.asarray(item_ids, dtype=np.int64)
+        self.timestamps = np.asarray(timestamps, dtype=np.int64)
+        if not (len(self.user_ids) == len(self.item_ids)
+                == len(self.timestamps)):
+            raise ValueError("interaction arrays must have equal length")
+        if len(self.user_ids) and self.user_ids.max() >= n_users:
+            raise ValueError("user id out of range")
+        if len(self.item_ids) and self.item_ids.max() >= n_items:
+            raise ValueError("item id out of range")
+        self.n_users = int(n_users)
+        self.n_items = int(n_items)
+        self.item_tags = sp.csr_matrix(item_tags)
+        if self.item_tags.shape[0] != n_items:
+            raise ValueError("item_tags row count must equal n_items")
+        self.taxonomy = taxonomy
+        self.relations = relations if relations is not None else (
+            extract_relations(taxonomy, self.item_tags))
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def n_interactions(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def n_tags(self) -> int:
+        return self.taxonomy.n_tags
+
+    @property
+    def density(self) -> float:
+        """Interaction density in percent, as reported in Table I."""
+        return 100.0 * self.n_interactions / (self.n_users * self.n_items)
+
+    def items_of_user(self, indices: Optional[np.ndarray] = None
+                      ) -> Dict[int, np.ndarray]:
+        """Map each user to the item ids of the selected interactions."""
+        if indices is None:
+            users, items = self.user_ids, self.item_ids
+        else:
+            users, items = self.user_ids[indices], self.item_ids[indices]
+        order = np.argsort(users, kind="stable")
+        users, items = users[order], items[order]
+        boundaries = np.searchsorted(users, np.arange(self.n_users + 1))
+        return {u: items[boundaries[u]:boundaries[u + 1]]
+                for u in range(self.n_users)
+                if boundaries[u + 1] > boundaries[u]}
+
+    def interaction_matrix(self, indices: Optional[np.ndarray] = None
+                           ) -> sp.csr_matrix:
+        """Binary user-item matrix over the selected interactions."""
+        if indices is None:
+            users, items = self.user_ids, self.item_ids
+        else:
+            users, items = self.user_ids[indices], self.item_ids[indices]
+        data = np.ones(len(users))
+        mat = sp.coo_matrix((data, (users, items)),
+                            shape=(self.n_users, self.n_items))
+        mat = mat.tocsr()
+        mat.data[:] = 1.0  # deduplicate repeated interactions
+        return mat
+
+    def tags_of_items(self, items: np.ndarray) -> List[np.ndarray]:
+        """Tag id arrays for each item in ``items``."""
+        csr = self.item_tags
+        return [csr.indices[csr.indptr[i]:csr.indptr[i + 1]]
+                for i in np.asarray(items)]
+
+    def user_tag_lists(self, indices: Optional[np.ndarray] = None
+                       ) -> Dict[int, np.ndarray]:
+        """The multiset T_u of tags each user interacted with (Eq. 11).
+
+        Tags are counted once per interaction per carrying item, preserving
+        multiplicity, which Eq. 11's frequency term requires.
+        """
+        per_user_items = self.items_of_user(indices)
+        out: Dict[int, np.ndarray] = {}
+        for u, items in per_user_items.items():
+            tag_arrays = self.tags_of_items(items)
+            if tag_arrays:
+                concat = np.concatenate(tag_arrays) if any(
+                    len(a) for a in tag_arrays) else np.zeros(0, np.int64)
+            else:
+                concat = np.zeros(0, dtype=np.int64)
+            out[u] = concat.astype(np.int64)
+        return out
+
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict:
+        """Dataset statistics in the shape of the paper's Table I."""
+        counts = self.relations.counts
+        return {
+            "name": self.name,
+            "n_users": self.n_users,
+            "n_items": self.n_items,
+            "n_interactions": self.n_interactions,
+            "density_pct": round(self.density, 4),
+            "n_tags": self.n_tags,
+            "n_membership": counts["n_membership"],
+            "n_hierarchy": counts["n_hierarchy"],
+            "n_exclusion": counts["n_exclusion"],
+        }
+
+    def __repr__(self) -> str:
+        return (f"InteractionDataset(name={self.name!r}, "
+                f"users={self.n_users}, items={self.n_items}, "
+                f"interactions={self.n_interactions}, tags={self.n_tags})")

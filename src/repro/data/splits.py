@@ -1,0 +1,66 @@
+"""Temporal train/valid/test splitting (the paper's evaluation protocol).
+
+For each user, interactions are ordered by timestamp and split 60/20/20
+into train/valid/test.  Users with fewer than ``min_interactions`` events
+contribute all their events to training (they cannot be evaluated).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset, Split
+
+
+def temporal_split(dataset: InteractionDataset, train_frac: float = 0.6,
+                   valid_frac: float = 0.2,
+                   min_interactions: int = 5) -> Split:
+    """Split interactions per user by timestamp.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to split.
+    train_frac, valid_frac:
+        Fractions for train and validation; test gets the remainder.
+        Must satisfy ``0 < train_frac`` and ``train_frac + valid_frac < 1``.
+    min_interactions:
+        Users below this interaction count go entirely to train.
+    """
+    if not 0.0 < train_frac < 1.0:
+        raise ValueError("train_frac must be in (0, 1)")
+    if train_frac + valid_frac >= 1.0:
+        raise ValueError("train_frac + valid_frac must be < 1")
+
+    train_idx, valid_idx, test_idx = [], [], []
+    order = np.lexsort((dataset.timestamps, dataset.user_ids))
+    users_sorted = dataset.user_ids[order]
+    boundaries = np.searchsorted(users_sorted,
+                                 np.arange(dataset.n_users + 1))
+    for u in range(dataset.n_users):
+        lo, hi = boundaries[u], boundaries[u + 1]
+        user_events = order[lo:hi]
+        n = len(user_events)
+        if n == 0:
+            continue
+        if n < min_interactions:
+            train_idx.append(user_events)
+            continue
+        n_train = max(1, int(round(n * train_frac)))
+        n_valid = max(1, int(round(n * valid_frac)))
+        if n_train + n_valid >= n:
+            n_valid = max(1, n - n_train - 1)
+            if n_train + n_valid >= n:
+                n_train = n - 2
+                n_valid = 1
+        train_idx.append(user_events[:n_train])
+        valid_idx.append(user_events[n_train:n_train + n_valid])
+        test_idx.append(user_events[n_train + n_valid:])
+
+    def _concat(parts):
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    return Split(train=_concat(train_idx), valid=_concat(valid_idx),
+                 test=_concat(test_idx))

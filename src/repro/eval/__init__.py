@@ -1,0 +1,34 @@
+"""Evaluation: full-ranking Recall@K / NDCG@K and significance testing.
+
+The paper evaluates with *unsampled* metrics (citing Krichene & Rendle):
+for each user every non-training item is ranked, so no sampled-candidate
+bias is introduced.
+"""
+
+from repro.eval.metrics import ndcg_at_k, recall_at_k
+from repro.eval.evaluator import Evaluator, EvaluationResult
+from repro.eval.significance import wilcoxon_improvement
+from repro.eval.extra_metrics import (
+    average_precision_at_k,
+    beyond_accuracy_report,
+    catalog_coverage,
+    exclusion_violation_at_k,
+    precision_at_k,
+    reciprocal_rank,
+    tag_consistency_at_k,
+)
+
+__all__ = [
+    "ndcg_at_k",
+    "recall_at_k",
+    "Evaluator",
+    "EvaluationResult",
+    "wilcoxon_improvement",
+    "precision_at_k",
+    "average_precision_at_k",
+    "reciprocal_rank",
+    "catalog_coverage",
+    "tag_consistency_at_k",
+    "exclusion_violation_at_k",
+    "beyond_accuracy_report",
+]

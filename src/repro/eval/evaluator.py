@@ -1,0 +1,92 @@
+"""Evaluation harness: full ranking over all users with held-out items.
+
+Models expose ``score_users(user_ids) -> (len(user_ids), n_items)`` score
+matrices; the evaluator masks training items and computes per-user
+Recall@K / NDCG@K vectors, which are also what the Wilcoxon significance
+test consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset, Split
+from repro.eval.metrics import ndcg_at_k, rank_items, recall_at_k
+
+
+@dataclass
+class EvaluationResult:
+    """Per-user metric vectors plus means, in percent (as the paper reports).
+
+    ``per_user[metric]`` is an array over evaluated users; ``means[metric]``
+    is its mean.  Metric keys look like ``"recall@10"``.
+    """
+
+    per_user: Dict[str, np.ndarray]
+    user_ids: np.ndarray
+
+    @property
+    def means(self) -> Dict[str, float]:
+        return {k: float(np.mean(v) * 100.0) for k, v in
+                self.per_user.items()}
+
+    def __getitem__(self, metric: str) -> float:
+        return self.means[metric]
+
+    def summary(self) -> str:
+        parts = [f"{k}={v:.2f}" for k, v in sorted(self.means.items())]
+        return " ".join(parts)
+
+
+class Evaluator:
+    """Evaluates a trained model on validation or test interactions.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset (for ground-truth lookups).
+    split:
+        Temporal split; training items are masked from rankings.
+    ks:
+        Cutoffs, default (10, 20) as in the paper.
+    """
+
+    def __init__(self, dataset: InteractionDataset, split: Split,
+                 ks: Sequence[int] = (10, 20)):
+        self.dataset = dataset
+        self.split = split
+        self.ks = tuple(ks)
+        self._train_items = dataset.items_of_user(split.train)
+        self._valid_items = dataset.items_of_user(split.valid)
+        self._test_items = dataset.items_of_user(split.test)
+
+    def _evaluate(self, model, target_items: Dict[int, np.ndarray],
+                  batch_size: int = 256) -> EvaluationResult:
+        users = np.array(sorted(u for u, items in target_items.items()
+                                if len(items) > 0), dtype=np.int64)
+        metrics: Dict[str, List[float]] = {
+            f"recall@{k}": [] for k in self.ks}
+        metrics.update({f"ndcg@{k}": [] for k in self.ks})
+        for start in range(0, len(users), batch_size):
+            batch = users[start:start + batch_size]
+            scores = model.score_users(batch)
+            for row, u in enumerate(batch):
+                truth = set(int(i) for i in target_items[u])
+                exclude = set(int(i) for i in
+                              self._train_items.get(u, ()))
+                ranked = rank_items(scores[row], exclude)
+                for k in self.ks:
+                    metrics[f"recall@{k}"].append(
+                        recall_at_k(ranked, truth, k))
+                    metrics[f"ndcg@{k}"].append(ndcg_at_k(ranked, truth, k))
+        per_user = {k: np.asarray(v) for k, v in metrics.items()}
+        return EvaluationResult(per_user=per_user, user_ids=users)
+
+    def evaluate_valid(self, model) -> EvaluationResult:
+        return self._evaluate(model, self._valid_items)
+
+    def evaluate_test(self, model) -> EvaluationResult:
+        return self._evaluate(model, self._test_items)

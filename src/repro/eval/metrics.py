@@ -1,0 +1,47 @@
+"""Ranking metrics: Recall@K and NDCG@K.
+
+Both operate on a ranked list of item ids per user and the user's held-out
+ground-truth set.  NDCG uses the standard binary-relevance formulation with
+the ideal DCG computed from ``min(K, |ground truth|)`` hits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+import numpy as np
+
+
+def recall_at_k(ranked_items: np.ndarray, ground_truth: Set[int],
+                k: int) -> float:
+    """Fraction of the ground-truth items present in the top-K."""
+    if not ground_truth:
+        raise ValueError("ground_truth must be non-empty")
+    top_k = ranked_items[:k]
+    hits = sum(1 for item in top_k if int(item) in ground_truth)
+    return hits / len(ground_truth)
+
+
+def ndcg_at_k(ranked_items: np.ndarray, ground_truth: Set[int],
+              k: int) -> float:
+    """Binary-relevance NDCG@K."""
+    if not ground_truth:
+        raise ValueError("ground_truth must be non-empty")
+    top_k = ranked_items[:k]
+    gains = np.array([1.0 if int(item) in ground_truth else 0.0
+                      for item in top_k])
+    discounts = 1.0 / np.log2(np.arange(2, len(top_k) + 2))
+    dcg = float(np.sum(gains * discounts))
+    ideal_hits = min(k, len(ground_truth))
+    idcg = float(np.sum(1.0 / np.log2(np.arange(2, ideal_hits + 2))))
+    return dcg / idcg
+
+
+def rank_items(scores: np.ndarray, exclude: Set[int]) -> np.ndarray:
+    """Rank all items by descending score, removing excluded (train) items."""
+    order = np.argsort(-scores, kind="stable")
+    if not exclude:
+        return order
+    mask = np.isin(order, np.fromiter(exclude, dtype=np.int64),
+                   invert=True)
+    return order[mask]

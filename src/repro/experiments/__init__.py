@@ -1,0 +1,62 @@
+"""Experiment harness: model zoo, runners, and table/figure generators.
+
+Each module regenerates one artifact of the paper's evaluation:
+
+* :mod:`repro.experiments.runner` — the model zoo (15 models with tuned
+  configs) and the overall comparison (Table II);
+* :mod:`repro.experiments.ablation` — the LogiRec++ variants (Table III);
+* :mod:`repro.experiments.sweeps` — hyperparameter studies (Table IV,
+  Fig. 6);
+* :mod:`repro.experiments.figures` — user-behaviour statistics (Fig. 5)
+  and embedding visualizations / separation scores (Fig. 7-8);
+* :mod:`repro.experiments.cases` — tag-based user profiles with CON/GR/
+  alpha (Table V).
+"""
+
+from repro.experiments.runner import (
+    MODEL_ZOO,
+    build_model,
+    run_model,
+    run_comparison,
+    format_comparison_table,
+)
+from repro.experiments.ablation import ABLATIONS, run_ablation
+from repro.experiments.sweeps import (
+    run_hyperparameter_study,
+    run_lambda_sweep,
+)
+from repro.experiments.figures import (
+    user_tag_type_distribution,
+    tag_types_vs_origin_distance,
+    embedding_projection,
+    tag_separation_scores,
+)
+from repro.experiments.cases import case_studies
+from repro.experiments.search import format_search_trace, grid_search
+from repro.experiments.robustness import (
+    corrupt_taxonomy,
+    format_robustness_table,
+    run_noise_robustness,
+)
+
+__all__ = [
+    "MODEL_ZOO",
+    "build_model",
+    "run_model",
+    "run_comparison",
+    "format_comparison_table",
+    "ABLATIONS",
+    "run_ablation",
+    "run_hyperparameter_study",
+    "run_lambda_sweep",
+    "user_tag_type_distribution",
+    "tag_types_vs_origin_distance",
+    "embedding_projection",
+    "tag_separation_scores",
+    "case_studies",
+    "corrupt_taxonomy",
+    "run_noise_robustness",
+    "format_robustness_table",
+    "grid_search",
+    "format_search_trace",
+]

@@ -1,0 +1,114 @@
+"""Geodesic utilities on the hyperbolic manifolds.
+
+Numpy-only analysis helpers (no autograd):
+
+* :func:`lorentz_geodesic` — the unit-speed geodesic between two
+  hyperboloid points, evaluated at fractions ``t``;
+* :func:`lorentz_parallel_transport` — transport of tangent vectors along
+  geodesics (used when composing maps away from the origin);
+* :func:`frechet_mean` — the Karcher/Frechet mean of a point cloud on the
+  hyperboloid via fixed-point iteration in tangent space (the hyperbolic
+  centroid used by cluster-separation analyses);
+* :func:`einstein_midpoint` — the weighted Einstein midpoint in the Klein
+  model, the aggregation the related work (Chami et al.) uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.manifolds.lorentz import Lorentz
+
+_MIN = 1e-15
+
+
+def lorentz_geodesic(x: np.ndarray, y: np.ndarray,
+                     t: np.ndarray) -> np.ndarray:
+    """Points along the geodesic from ``x`` to ``y`` at fractions ``t``.
+
+    gamma(t) = (sinh((1-t) d) x + sinh(t d) y) / sinh(d), with
+    d = d_H(x, y).  Returns shape ``(len(t), dim)`` for single points.
+    """
+    x = np.atleast_2d(x)
+    y = np.atleast_2d(y)
+    inner = Lorentz.inner_np(x, y)
+    d = np.arccosh(np.maximum(-inner, 1.0 + 1e-15))
+    t = np.asarray(t, dtype=np.float64).reshape(-1, 1)
+    sinh_d = np.maximum(np.sinh(d), _MIN)
+    out = (np.sinh((1.0 - t) * d) * x + np.sinh(t * d) * y) / sinh_d
+    # Re-project to absorb float drift.
+    return Lorentz().project(out)
+
+
+def lorentz_parallel_transport(x: np.ndarray, y: np.ndarray,
+                               v: np.ndarray) -> np.ndarray:
+    """Parallel-transport tangent vector ``v`` at ``x`` to ``y``.
+
+    PT_{x->y}(v) = v + <y, v>_L / (1 - <x, y>_L) * (x + y)
+    """
+    inner_xy = Lorentz.inner_np(x, y, keepdims=True)
+    inner_yv = Lorentz.inner_np(y, v, keepdims=True)
+    denom = np.maximum(1.0 - inner_xy, _MIN)
+    return v + inner_yv / denom * (x + y)
+
+
+def frechet_mean(points: np.ndarray, weights: Optional[np.ndarray] = None,
+                 max_iter: int = 50, tol: float = 1e-9) -> np.ndarray:
+    """Weighted Frechet mean of hyperboloid points.
+
+    Fixed-point iteration: map all points to the tangent space at the
+    current estimate, average, exp back; converges quickly because
+    hyperbolic space has non-positive curvature (unique mean).
+    """
+    points = np.atleast_2d(points)
+    n = len(points)
+    if weights is None:
+        weights = np.full(n, 1.0 / n)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        weights = weights / weights.sum()
+    manifold = Lorentz()
+    mean = manifold.project(
+        np.sum(weights[:, None] * points, axis=0, keepdims=True))
+    for _ in range(max_iter):
+        # log_mean(points): tangent vectors at the current mean.
+        inner = Lorentz.inner_np(mean, points, keepdims=True)
+        d = np.arccosh(np.maximum(-inner, 1.0 + 1e-15))
+        proj = points + inner * mean
+        norms = np.sqrt(np.maximum(
+            Lorentz.inner_np(proj, proj, keepdims=True), _MIN))
+        tangents = d * proj / norms
+        step = np.sum(weights[:, None] * tangents, axis=0, keepdims=True)
+        step_norm = float(np.sqrt(max(
+            Lorentz.inner_np(step, step)[0], 0.0)))
+        mean = manifold.retract(mean, step)
+        if step_norm < tol:
+            break
+    return mean[0]
+
+
+def einstein_midpoint(points: np.ndarray,
+                      weights: Optional[np.ndarray] = None) -> np.ndarray:
+    """Weighted Einstein midpoint of hyperboloid points.
+
+    Computed in the Klein model: k_i = x_spatial / x_0, with Lorentz
+    factors gamma_i = x_0; midpoint = sum(w gamma k) / sum(w gamma),
+    lifted back to the hyperboloid.
+    """
+    points = np.atleast_2d(points)
+    n = len(points)
+    if weights is None:
+        weights = np.ones(n)
+    weights = np.asarray(weights, dtype=np.float64)
+    gamma = points[:, 0:1]
+    klein = points[:, 1:] / np.maximum(gamma, _MIN)
+    coef = weights[:, None] * gamma
+    mid_klein = np.sum(coef * klein, axis=0) / np.maximum(
+        np.sum(coef), _MIN)
+    # Lift Klein -> Lorentz: x = (1, k) / sqrt(1 - ||k||^2).
+    sq = float(np.sum(mid_klein * mid_klein))
+    sq = min(sq, 1.0 - 1e-12)
+    factor = 1.0 / np.sqrt(1.0 - sq)
+    return np.concatenate([[factor], factor * mid_klein])

@@ -1,0 +1,93 @@
+"""Poincare hyperplanes and their enclosing d-balls (Section III-A).
+
+A Poincare hyperplane is uniquely defined by its center point ``c`` (the
+point of the hyperplane closest to the origin, ``0 < ||c|| < 1``).  Its
+enclosing Euclidean d-ball ``B^d(o_c, r_c)`` has
+
+    o_c = (1 + ||c||^2) / (2 ||c||) * c,      r_c = (1 - ||c||^2) / (2 ||c||).
+
+LogiRec represents every tag by such a center ``c`` and expresses the three
+logical relations as geometric predicates on the enclosing balls
+(Lemmas 1-3), relaxed to hinge losses in :mod:`repro.core.losses`.
+
+Note ``o_c`` lies *outside* the unit ball (``||o_c|| > 1``): the d-ball's
+boundary intersects the Poincare ball perpendicularly, and the part inside
+the ball is the hyperplane's convex region.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor, clamp, clamp_min, norm
+
+# Tag centers are kept in a norm annulus away from both singular points:
+# r_c explodes as ||c|| -> 0 and the region degenerates as ||c|| -> 1.
+CENTER_MIN_NORM = 1e-3
+CENTER_MAX_NORM = 1.0 - 1e-3
+
+
+def enclosing_ball(center: Tensor) -> Tuple[Tensor, Tensor]:
+    """Differentiable ``(o_c, r_c)`` of the hyperplane with center ``c``.
+
+    Parameters
+    ----------
+    center:
+        Tensor of shape ``(..., d)`` with norms inside
+        ``(CENTER_MIN_NORM, CENTER_MAX_NORM)``.
+
+    Returns
+    -------
+    (o, r):
+        ``o`` has shape ``(..., d)``; ``r`` has shape ``(..., 1)``.
+    """
+    raw_norm = clamp_min(norm(center, axis=-1, keepdims=True),
+                         CENTER_MIN_NORM)
+    unit = center / raw_norm
+    c_norm = clamp(raw_norm, CENTER_MIN_NORM, CENTER_MAX_NORM)
+    sq = c_norm * c_norm
+    # ||o_c|| = (1 + ||c||^2) / (2 ||c||) along c's direction; together with
+    # r_c this satisfies the perpendicular-intersection identity
+    # ||o_c||^2 = 1 + r_c^2 (tested property).
+    o = (1.0 + sq) / (2.0 * c_norm) * unit
+    r = (1.0 - sq) / (2.0 * c_norm)
+    return o, r
+
+
+def enclosing_ball_np(center: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Numpy mirror of :func:`enclosing_ball` for analysis/extraction code."""
+    raw_norm = np.maximum(np.linalg.norm(center, axis=-1, keepdims=True),
+                          CENTER_MIN_NORM)
+    unit = center / raw_norm
+    c_norm = np.clip(raw_norm, CENTER_MIN_NORM, CENTER_MAX_NORM)
+    sq = c_norm * c_norm
+    o = (1.0 + sq) / (2.0 * c_norm) * unit
+    r = (1.0 - sq) / (2.0 * c_norm)
+    return o, r
+
+
+# ----------------------------------------------------------------------
+# Geometric predicates (Lemmas 1-3) — boolean, numpy, used in tests and
+# relation-mining readout.
+# ----------------------------------------------------------------------
+def ball_contains_point(o: np.ndarray, r: np.ndarray,
+                        v: np.ndarray) -> np.ndarray:
+    """Lemma 1 (membership): ``||v - o|| < r``."""
+    return np.linalg.norm(v - o, axis=-1) < np.squeeze(r, axis=-1)
+
+
+def ball_contains_ball(o_outer: np.ndarray, r_outer: np.ndarray,
+                       o_inner: np.ndarray, r_inner: np.ndarray) -> np.ndarray:
+    """Lemma 2 (hierarchy): outer contains inner iff
+    ``||o_outer - o_inner|| + r_inner < r_outer``."""
+    gap = np.linalg.norm(o_outer - o_inner, axis=-1)
+    return gap + np.squeeze(r_inner, axis=-1) < np.squeeze(r_outer, axis=-1)
+
+
+def balls_disjoint(o_i: np.ndarray, r_i: np.ndarray,
+                   o_j: np.ndarray, r_j: np.ndarray) -> np.ndarray:
+    """Lemma 3 (exclusion): disjoint iff ``r_i + r_j < ||o_i - o_j||``."""
+    gap = np.linalg.norm(o_i - o_j, axis=-1)
+    return np.squeeze(r_i, axis=-1) + np.squeeze(r_j, axis=-1) < gap

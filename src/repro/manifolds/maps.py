@@ -1,0 +1,46 @@
+"""Diffeomorphisms between the Poincare and Lorentz models (Eq. 1 / Eq. 2).
+
+These are the glue that lets LogiRec run its logic losses in the Poincare
+ball while optimizing recommendation in the Lorentz model: item embeddings
+live in ``P^d`` and are mapped to ``H^d`` with :func:`poincare_to_lorentz`
+before entering the hyperbolic GCN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor, cat, clamp_min
+
+_MIN_NORM = 1e-15
+
+
+def lorentz_to_poincare(x: Tensor) -> Tensor:
+    """Map ``H^d -> P^d`` via Eq. (1): ``p(x) = (x1, ..., xd) / (x0 + 1)``."""
+    time = x[..., 0:1]
+    spatial = x[..., 1:]
+    return spatial / clamp_min(time + 1.0, _MIN_NORM)
+
+
+def poincare_to_lorentz(x: Tensor) -> Tensor:
+    """Map ``P^d -> H^d`` via Eq. (2).
+
+    p^{-1}(x) = (1 + ||x||^2, 2 x1, ..., 2 xd) / (1 - ||x||^2)
+    """
+    sq_norm = (x * x).sum(axis=-1, keepdims=True)
+    denom = clamp_min(1.0 - sq_norm, _MIN_NORM)
+    time = (1.0 + sq_norm) / denom
+    spatial = (2.0 * x) / denom
+    return cat([time, spatial], axis=-1)
+
+
+def lorentz_to_poincare_np(x: np.ndarray) -> np.ndarray:
+    """Numpy mirror of :func:`lorentz_to_poincare` for analysis code."""
+    return x[..., 1:] / np.maximum(x[..., 0:1] + 1.0, _MIN_NORM)
+
+
+def poincare_to_lorentz_np(x: np.ndarray) -> np.ndarray:
+    """Numpy mirror of :func:`poincare_to_lorentz` for analysis code."""
+    sq_norm = np.sum(x * x, axis=-1, keepdims=True)
+    denom = np.maximum(1.0 - sq_norm, _MIN_NORM)
+    return np.concatenate([(1.0 + sq_norm) / denom, 2.0 * x / denom], axis=-1)

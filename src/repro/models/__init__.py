@@ -1,0 +1,45 @@
+"""Recommendation models: the shared base plus the paper's 13 baselines.
+
+Groups follow the paper's Section VI-A3:
+
+* general: :class:`BPRMF`, :class:`NeuMF`
+* metric learning: :class:`CML`, :class:`SML`, :class:`HyperML`
+* tag-based: :class:`CMLF`, :class:`AMF`, :class:`TransC`, :class:`AGCN`
+* graph-based: :class:`LightGCN`, :class:`HGCF`, :class:`GDCF`, :class:`HRCF`
+
+The paper's own models live in :mod:`repro.core`
+(:class:`~repro.core.LogiRec`, :class:`~repro.core.LogiRecPP`).
+"""
+
+from repro.models.base import Recommender, TrainConfig
+from repro.models.bprmf import BPRMF
+from repro.models.neumf import NeuMF
+from repro.models.cml import CML
+from repro.models.sml import SML
+from repro.models.hyperml import HyperML
+from repro.models.cmlf import CMLF
+from repro.models.amf import AMF
+from repro.models.transc import TransC
+from repro.models.agcn import AGCN
+from repro.models.lightgcn import LightGCN
+from repro.models.hgcf import HGCF
+from repro.models.gdcf import GDCF
+from repro.models.hrcf import HRCF
+
+__all__ = [
+    "Recommender",
+    "TrainConfig",
+    "BPRMF",
+    "NeuMF",
+    "CML",
+    "SML",
+    "HyperML",
+    "CMLF",
+    "AMF",
+    "TransC",
+    "AGCN",
+    "LightGCN",
+    "HGCF",
+    "GDCF",
+    "HRCF",
+]

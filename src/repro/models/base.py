@@ -1,0 +1,185 @@
+"""Shared recommender interface and training loop.
+
+Every model implements two hooks:
+
+* :meth:`Recommender.batch_loss` — the training objective on a triplet
+  batch (plus any model-specific regularizers);
+* :meth:`Recommender.score_users` — a dense ``(batch, n_items)`` score
+  matrix for ranking.
+
+:meth:`Recommender.fit` provides the common loop: epochs over a
+:class:`~repro.data.TripletSampler`, backward, optimizer step, and an
+optional per-epoch hook (used e.g. by LogiRec++ to refresh granularity
+weights).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.data.dataset import InteractionDataset, Split
+from repro.data.sampling import TripletSampler
+from repro.optim.parameter import Parameter
+from repro.tensor import Tensor, no_grad
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters shared by all models.
+
+    Defaults match the paper's tuned values where stated (margin 0.1,
+    batch size large relative to data, RSGD/SGD learning rates from the
+    paper's grid) scaled to bench-size data.
+    """
+
+    dim: int = 16
+    epochs: int = 200
+    batch_size: int = 4096
+    lr: float = 0.05
+    margin: float = 0.5
+    n_negatives: int = 2
+    seed: int = 0
+    max_grad_norm: Optional[float] = 50.0
+    verbose: bool = False
+
+
+class Recommender(abc.ABC):
+    """Base class for every reproduced model."""
+
+    def __init__(self, n_users: int, n_items: int,
+                 config: Optional[TrainConfig] = None):
+        self.n_users = int(n_users)
+        self.n_items = int(n_items)
+        self.config = config if config is not None else TrainConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.loss_history: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def parameters(self) -> List[Parameter]:
+        """All learnable parameters."""
+
+    @abc.abstractmethod
+    def make_optimizer(self):
+        """Build the model's optimizer over :meth:`parameters`."""
+
+    @abc.abstractmethod
+    def batch_loss(self, users: np.ndarray, pos: np.ndarray,
+                   neg: np.ndarray) -> Tensor:
+        """Scalar loss for one triplet batch."""
+
+    @abc.abstractmethod
+    def score_users(self, user_ids: np.ndarray) -> np.ndarray:
+        """Dense score matrix ``(len(user_ids), n_items)``; higher = better."""
+
+    def prepare(self, dataset: InteractionDataset, split: Split) -> None:
+        """Dataset-dependent setup (adjacency matrices, relations, ...)."""
+
+    def on_epoch_start(self, epoch: int) -> None:
+        """Per-epoch hook (LogiRec++ refreshes its weights here)."""
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+    def fit(self, dataset: InteractionDataset, split: Split,
+            evaluator=None, eval_every: int = 25,
+            eval_metric: str = "recall@10") -> "Recommender":
+        """Train on ``split.train`` and return self.
+
+        If an :class:`~repro.eval.Evaluator` is supplied, validation
+        performance is checked every ``eval_every`` epochs and the best
+        parameter snapshot is restored at the end (the paper tunes every
+        model on the validation split; best-epoch selection is part of
+        that protocol and applied uniformly to all models).
+        """
+        self.prepare(dataset, split)
+        sampler = TripletSampler(dataset, split.train, rng=self.rng,
+                                 n_negatives=self.config.n_negatives)
+        optimizer = self.make_optimizer()
+        best_score = -np.inf
+        best_state: Optional[List[np.ndarray]] = None
+        for epoch in range(self.config.epochs):
+            self.on_epoch_start(epoch)
+            epoch_loss = 0.0
+            n_batches = 0
+            for users, pos, neg in sampler.epoch(self.config.batch_size):
+                optimizer.zero_grad()
+                loss = self.batch_loss(users, pos, neg)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+            mean_loss = epoch_loss / max(n_batches, 1)
+            self.loss_history.append(mean_loss)
+            if self.config.verbose:
+                print(f"[{type(self).__name__}] epoch {epoch + 1}/"
+                      f"{self.config.epochs} loss={mean_loss:.4f}")
+            last_epoch = epoch == self.config.epochs - 1
+            if evaluator is not None and (
+                    (epoch + 1) % eval_every == 0 or last_epoch):
+                score = evaluator.evaluate_valid(self).means[eval_metric]
+                if score > best_score:
+                    best_score = score
+                    best_state = [p.data.copy() for p in self.parameters()]
+        if best_state is not None:
+            for p, data in zip(self.parameters(), best_state):
+                p.data[...] = data
+        return self
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def normalized_adjacency(dataset: InteractionDataset,
+                             train_indices: np.ndarray):
+        """Row-normalized user->item and item->user adjacency (Eq. 7).
+
+        Returns ``(a_ui, a_iu)`` where ``a_ui[u, i] = 1/|N_u|`` over the
+        training interactions.
+        """
+        mat = dataset.interaction_matrix(train_indices)
+        user_deg = np.asarray(mat.sum(axis=1)).ravel()
+        item_deg = np.asarray(mat.sum(axis=0)).ravel()
+        inv_u = np.divide(1.0, user_deg, out=np.zeros_like(user_deg),
+                          where=user_deg > 0)
+        inv_i = np.divide(1.0, item_deg, out=np.zeros_like(item_deg),
+                          where=item_deg > 0)
+        a_ui = sp.diags(inv_u) @ mat
+        a_iu = sp.diags(inv_i) @ mat.T
+        return a_ui.tocsr(), a_iu.tocsr()
+
+    @staticmethod
+    def symmetric_adjacency(dataset: InteractionDataset,
+                            train_indices: np.ndarray) -> sp.csr_matrix:
+        """LightGCN's symmetric normalization over the bipartite graph.
+
+        Returns the ``(n_users + n_items)`` square matrix
+        ``D^{-1/2} A D^{-1/2}``.
+        """
+        mat = dataset.interaction_matrix(train_indices)
+        n_u, n_i = mat.shape
+        upper = sp.hstack([sp.csr_matrix((n_u, n_u)), mat])
+        lower = sp.hstack([mat.T, sp.csr_matrix((n_i, n_i))])
+        adj = sp.vstack([upper, lower]).tocsr()
+        deg = np.asarray(adj.sum(axis=1)).ravel()
+        inv_sqrt = np.divide(1.0, np.sqrt(deg), out=np.zeros_like(deg),
+                             where=deg > 0)
+        d = sp.diags(inv_sqrt)
+        return (d @ adj @ d).tocsr()
+
+    def recommend(self, user_id: int, k: int = 10,
+                  exclude: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Top-K item ids for one user, optionally masking seen items."""
+        scores = self.score_users(np.array([user_id]))[0]
+        if exclude is not None:
+            scores = scores.copy()
+            scores[np.asarray(list(exclude), dtype=np.int64)] = -np.inf
+        order = np.argsort(-scores, kind="stable")
+        return order[:k]

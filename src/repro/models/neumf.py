@@ -1,0 +1,76 @@
+"""NeuMF (He et al., 2017): neural collaborative filtering.
+
+Fuses a GMF branch (elementwise product of user/item factors) with an MLP
+branch (two hidden layers over the concatenated factors); a final linear
+layer produces the interaction logit.  Trained with binary cross-entropy
+over sampled positives/negatives, as in the original.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.base import Recommender, TrainConfig
+from repro.optim import Adam, Parameter
+from repro.tensor import (Tensor, cat, gather_rows, log, relu, sigmoid,
+                          clamp)
+
+
+class NeuMF(Recommender):
+    """Neural matrix factorization (GMF + MLP fusion)."""
+
+    def __init__(self, n_users: int, n_items: int,
+                 config: Optional[TrainConfig] = None):
+        super().__init__(n_users, n_items, config)
+        d = self.config.dim
+        rng = self.rng
+        self.user_gmf = Parameter(rng.normal(0, 0.1, (n_users, d)))
+        self.item_gmf = Parameter(rng.normal(0, 0.1, (n_items, d)))
+        self.user_mlp = Parameter(rng.normal(0, 0.1, (n_users, d)))
+        self.item_mlp = Parameter(rng.normal(0, 0.1, (n_items, d)))
+        h1, h2 = d, d // 2
+        self.w1 = Parameter(rng.normal(0, np.sqrt(2.0 / (2 * d)),
+                                       (2 * d, h1)))
+        self.b1 = Parameter(np.zeros(h1))
+        self.w2 = Parameter(rng.normal(0, np.sqrt(2.0 / h1), (h1, h2)))
+        self.b2 = Parameter(np.zeros(h2))
+        self.w_out = Parameter(rng.normal(0, 0.1, (d + h2, 1)))
+        self.b_out = Parameter(np.zeros(1))
+
+    def parameters(self) -> List[Parameter]:
+        return [self.user_gmf, self.item_gmf, self.user_mlp, self.item_mlp,
+                self.w1, self.b1, self.w2, self.b2, self.w_out, self.b_out]
+
+    def make_optimizer(self):
+        return Adam(self.parameters(), lr=self.config.lr,
+                    max_grad_norm=self.config.max_grad_norm)
+
+    def _logits(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        gmf = (gather_rows(self.user_gmf, users)
+               * gather_rows(self.item_gmf, items))
+        mlp_in = cat([gather_rows(self.user_mlp, users),
+                      gather_rows(self.item_mlp, items)], axis=1)
+        h = relu(mlp_in @ self.w1 + self.b1)
+        h = relu(h @ self.w2 + self.b2)
+        fused = cat([gmf, h], axis=1)
+        return (fused @ self.w_out).reshape(-1) + self.b_out
+
+    def batch_loss(self, users: np.ndarray, pos: np.ndarray,
+                   neg: np.ndarray) -> Tensor:
+        p_pos = clamp(sigmoid(self._logits(users, pos)), 1e-8, 1 - 1e-8)
+        p_neg = clamp(sigmoid(self._logits(users, neg)), 1e-8, 1 - 1e-8)
+        return ((-1.0) * log(p_pos).mean()
+                + (-1.0) * log(1.0 - p_neg).mean())
+
+    def score_users(self, user_ids: np.ndarray) -> np.ndarray:
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        scores = np.zeros((len(user_ids), self.n_items))
+        all_items = np.arange(self.n_items)
+        from repro.tensor import no_grad
+        with no_grad():
+            for row, u in enumerate(user_ids):
+                users = np.full(self.n_items, u)
+                scores[row] = self._logits(users, all_items).data
+        return scores

@@ -1,0 +1,17 @@
+"""Optimizers: Euclidean SGD/Adam and Riemannian SGD (Section V-C).
+
+:class:`Parameter` couples a :class:`~repro.tensor.Tensor` with the manifold
+it lives on; :class:`RiemannianSGD` converts Euclidean gradients to
+Riemannian ones (Eq. 16) and retracts with the manifold's exponential map
+(Eq. 17 for Poincare parameters, Eq. 18 for Lorentz parameters).
+"""
+
+from repro.optim.parameter import Parameter
+from repro.optim.sgd import SGD, Adam
+from repro.optim.rsgd import RiemannianSGD
+
+__all__ = ["Parameter", "SGD", "Adam", "RiemannianSGD"]
+
+from repro.optim.radam import RiemannianAdam  # noqa: E402
+
+__all__.append("RiemannianAdam")

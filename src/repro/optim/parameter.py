@@ -1,0 +1,41 @@
+"""Learnable parameters bound to a manifold."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.manifolds.base import Euclidean, Manifold
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` with ``requires_grad=True`` and a home manifold.
+
+    Optimizers dispatch on :attr:`manifold` to pick the right gradient
+    conversion and retraction; ``Euclidean`` is the default and reduces to
+    ordinary SGD updates.
+    """
+
+    __slots__ = ("manifold",)
+
+    def __init__(self, data, manifold: Optional[Manifold] = None,
+                 name: str = ""):
+        super().__init__(np.asarray(data, dtype=np.float64),
+                         requires_grad=True, name=name)
+        self.manifold = manifold if manifold is not None else Euclidean()
+
+    @classmethod
+    def random(cls, shape: tuple, manifold: Optional[Manifold] = None,
+               rng: Optional[np.random.Generator] = None,
+               scale: float = 0.1, name: str = "") -> "Parameter":
+        """Initialize on the manifold (near its origin)."""
+        manifold = manifold if manifold is not None else Euclidean()
+        rng = rng if rng is not None else np.random.default_rng()
+        return cls(manifold.random(shape, rng, scale=scale),
+                   manifold=manifold, name=name)
+
+    def __repr__(self) -> str:
+        return (f"Parameter(shape={self.data.shape}, "
+                f"manifold={self.manifold.name!r}, name={self.name!r})")

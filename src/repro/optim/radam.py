@@ -1,0 +1,62 @@
+"""Riemannian Adam (the geoopt-style practical variant).
+
+Keeps Adam first/second moments in ambient coordinates of the Riemannian
+gradient and retracts the preconditioned step with the manifold exponential
+map.  Parallel transport of the moments is approximated by the identity,
+the standard simplification (Becigneul & Ganea, 2019; geoopt) that works
+well when steps are small relative to curvature.
+
+On Euclidean parameters this reduces exactly to Adam, so a single optimizer
+instance can drive the mixed parameter sets of the hyperbolic models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.optim.parameter import Parameter
+from repro.optim.sgd import Optimizer
+
+
+class RiemannianAdam(Optimizer):
+    """Adam preconditioning + Riemannian gradient + exp-map retraction."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 max_grad_norm: Optional[float] = 50.0):
+        super().__init__(params, max_grad_norm)
+        self.lr = float(lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            grad = p.grad
+            if grad is None or not np.isfinite(grad).all():
+                continue
+            # Convert first, clip the Riemannian gradient (see rsgd.py for
+            # why clipping the Euclidean gradient freezes boundary points).
+            rgrad = p.manifold.egrad2rgrad(p.data, grad)
+            if self.max_grad_norm is not None:
+                nrm = np.linalg.norm(rgrad)
+                if nrm > self.max_grad_norm:
+                    rgrad = rgrad * (self.max_grad_norm / nrm)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * rgrad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * rgrad * rgrad
+            step = (self.lr * (m / bias1)
+                    / (np.sqrt(v / bias2) + self.eps))
+            # The preconditioned direction is generally not tangent any
+            # more; re-project before retracting (cheap and keeps the
+            # update on-manifold).
+            step = p.manifold.proj_tangent(p.data, step)
+            p.data[...] = p.manifold.retract(p.data, -step)

@@ -1,0 +1,51 @@
+"""Riemannian stochastic gradient descent (Bonnabel; paper Section V-C).
+
+For each parameter X with Euclidean gradient ∇L:
+
+1. convert to the Riemannian gradient,
+   ``grad = egrad2rgrad(X, ∇L)``  (Eq. 16 — metric inverse + tangent
+   projection for Lorentz, conformal rescaling for Poincare);
+2. retract along ``-lr * grad`` with the manifold exponential map
+   (Mobius exp map, Eq. 17, on the Poincare ball; Eq. 18 on the
+   hyperboloid);
+3. re-project onto the manifold to absorb float drift.
+
+Euclidean parameters degrade gracefully to a plain SGD step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.optim.parameter import Parameter
+from repro.optim.sgd import Optimizer
+
+
+class RiemannianSGD(Optimizer):
+    """RSGD over a mixed set of Euclidean / Poincare / Lorentz parameters."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2,
+                 max_grad_norm: Optional[float] = 50.0):
+        super().__init__(params, max_grad_norm)
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        for p in self.params:
+            grad = p.grad
+            if grad is None:
+                continue
+            if not np.isfinite(grad).all():
+                # A blown-up batch must not corrupt the embedding table.
+                continue
+            # Clip the *Riemannian* gradient: near the Poincare boundary
+            # the Euclidean gradient blows up exactly where the conformal
+            # factor of egrad2rgrad would tame it — clipping before the
+            # conversion freezes boundary points instead of moving them.
+            rgrad = p.manifold.egrad2rgrad(p.data, grad)
+            if self.max_grad_norm is not None:
+                nrm = np.linalg.norm(rgrad)
+                if nrm > self.max_grad_norm:
+                    rgrad = rgrad * (self.max_grad_norm / nrm)
+            p.data[...] = p.manifold.retract(p.data, -self.lr * rgrad)

@@ -1,0 +1,93 @@
+"""Euclidean optimizers (used by the Euclidean baselines)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.optim.parameter import Parameter
+
+
+class Optimizer:
+    """Shared bookkeeping: parameter list, zero_grad, gradient clipping."""
+
+    def __init__(self, params: Iterable[Parameter],
+                 max_grad_norm: Optional[float] = None):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer needs at least one parameter")
+        self.max_grad_norm = max_grad_norm
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def _clipped_grad(self, p: Parameter) -> Optional[np.ndarray]:
+        if p.grad is None:
+            return None
+        grad = p.grad
+        if self.max_grad_norm is not None:
+            nrm = np.linalg.norm(grad)
+            if nrm > self.max_grad_norm:
+                grad = grad * (self.max_grad_norm / nrm)
+        return grad
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0,
+                 max_grad_norm: Optional[float] = None):
+        super().__init__(params, max_grad_norm)
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, vel in zip(self.params, self._velocity):
+            grad = self._clipped_grad(p)
+            if grad is None:
+                continue
+            if self.momentum > 0.0:
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            p.data -= self.lr * grad
+            p.data[...] = p.manifold.project(p.data)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba).  Used for NeuMF-style neural baselines."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: tuple = (0.9, 0.999), eps: float = 1e-8,
+                 max_grad_norm: Optional[float] = None):
+        super().__init__(params, max_grad_norm)
+        self.lr = float(lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            grad = self._clipped_grad(p)
+            if grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.data[...] = p.manifold.project(p.data)

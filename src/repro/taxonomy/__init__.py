@@ -1,0 +1,31 @@
+"""Tag taxonomies and logical-relation extraction.
+
+The paper derives three logical relations from an existing tag taxonomy plus
+the item-tag matrix Q (Section IV-B, following Xiong et al.):
+
+* **membership** — item *i* carries tag *t* (from Q);
+* **hierarchy** — tag *t_child* is a child of *t_parent* in the taxonomy;
+* **exclusion** — two tags share a parent and have no common child tag
+  (the paper's noisy heuristic that LogiRec++ later refines).
+"""
+
+from repro.taxonomy.taxonomy import Taxonomy
+from repro.taxonomy.builder import build_taxonomy_from_tags, taxonomy_quality
+from repro.taxonomy.relations import (
+    LogicalRelations,
+    extract_relations,
+    extract_exclusions,
+    extract_hierarchy,
+    extract_membership,
+)
+
+__all__ = [
+    "Taxonomy",
+    "LogicalRelations",
+    "extract_relations",
+    "extract_exclusions",
+    "extract_hierarchy",
+    "extract_membership",
+    "build_taxonomy_from_tags",
+    "taxonomy_quality",
+]

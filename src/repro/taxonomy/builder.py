@@ -1,0 +1,119 @@
+"""Automatic taxonomy construction from a flat item-tag matrix.
+
+The paper assumes an *existing* tag taxonomy, but notes (citing Tan et
+al., ICDE 2022) that taxonomies can be constructed automatically when
+only flat tags are available.  This module implements the classic
+subsumption heuristic:
+
+tag ``a`` subsumes tag ``b`` when almost every item of ``b`` also carries
+``a`` while ``a`` is clearly broader — i.e. ``P(a | b) >= threshold`` and
+``|items(a)| > |items(b)|``.  Each tag attaches to its *smallest*
+subsumer (most specific parent), yielding a forest; ties break by tag id
+for determinism.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.taxonomy.taxonomy import Taxonomy
+
+
+def build_taxonomy_from_tags(item_tags: sp.spmatrix,
+                             subsumption_threshold: float = 0.8,
+                             min_support: int = 2,
+                             names: Optional[List[str]] = None
+                             ) -> Taxonomy:
+    """Infer a tag forest from item-tag co-occurrence.
+
+    Parameters
+    ----------
+    item_tags:
+        Binary ``(n_items, n_tags)`` matrix Q.
+    subsumption_threshold:
+        Minimum ``P(parent | child)`` for a subsumption edge.
+    min_support:
+        Tags with fewer tagged items than this stay roots (their
+        conditional probabilities are too noisy to attach).
+    names:
+        Optional tag names carried into the taxonomy.
+    """
+    q = sp.csc_matrix(item_tags)
+    q.data[:] = 1.0
+    n_tags = q.shape[1]
+    support = np.asarray(q.sum(axis=0)).ravel()
+    # co[a, b] = |items(a) & items(b)|
+    co = np.asarray((q.T @ q).todense())
+
+    parents = np.full(n_tags, -1, dtype=np.int64)
+    for child in range(n_tags):
+        if support[child] < min_support:
+            continue
+        best_parent = -1
+        best_support = np.inf
+        for parent in range(n_tags):
+            if parent == child:
+                continue
+            if support[parent] <= support[child]:
+                continue  # a parent must be strictly broader
+            conditional = co[parent, child] / support[child]
+            if conditional >= subsumption_threshold:
+                # Most specific subsumer = smallest support.
+                if support[parent] < best_support:
+                    best_parent = parent
+                    best_support = support[parent]
+        parents[child] = best_parent
+
+    _break_cycles(parents, support)
+    return Taxonomy(parents, names)
+
+
+def _break_cycles(parents: np.ndarray, support: np.ndarray) -> None:
+    """Detach the weakest edge of any parent cycle (ties in support can
+    produce 2-cycles despite the strict-broader rule on noisy data)."""
+    n = len(parents)
+    for start in range(n):
+        seen = {}
+        node = start
+        while node != -1 and node not in seen:
+            seen[node] = True
+            node = int(parents[node])
+        if node != -1:
+            # Cycle found: cut at the member with the largest support
+            # (the most general tag becomes a root).
+            cycle = [node]
+            cur = int(parents[node])
+            while cur != node:
+                cycle.append(cur)
+                cur = int(parents[cur])
+            cut = max(cycle, key=lambda t: (support[t], -t))
+            parents[cut] = -1
+
+
+def taxonomy_quality(inferred: Taxonomy, reference: Taxonomy) -> dict:
+    """Edge precision/recall of an inferred taxonomy vs a reference.
+
+    Compares *ancestor* pairs (transitive closure), the standard
+    taxonomy-evaluation protocol, so an inferred grandparent edge still
+    counts when the intermediate level was skipped.
+    """
+    def ancestor_pairs(tax: Taxonomy) -> set:
+        pairs = set()
+        for t in range(tax.n_tags):
+            for anc in tax.ancestors(t):
+                pairs.add((anc, t))
+        return pairs
+
+    inferred_pairs = ancestor_pairs(inferred)
+    reference_pairs = ancestor_pairs(reference)
+    if not inferred_pairs:
+        return {"precision": 0.0, "recall": 0.0, "f1": 0.0}
+    tp = len(inferred_pairs & reference_pairs)
+    precision = tp / len(inferred_pairs)
+    recall = tp / len(reference_pairs) if reference_pairs else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,149 @@
+"""Extraction of logical relations from a taxonomy + item-tag matrix.
+
+Following Section IV-B (and Xiong et al., which the paper cites for the
+extraction recipe):
+
+* membership: every nonzero of the item-tag matrix Q;
+* hierarchy: every (parent, child) taxonomy edge;
+* exclusion: every unordered sibling pair (same parent) that shares **no
+  common child tag** — and, to mirror the real-data pipeline, optionally no
+  substantial overlap in tagged items.  The paper stresses this heuristic is
+  *inaccurate and coarse* (e.g. overlapping genres mislabelled exclusive);
+  LogiRec++'s relation mining exists precisely to repair it, so the
+  extraction here keeps the noisy behaviour by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.taxonomy.taxonomy import Taxonomy
+
+
+@dataclass
+class LogicalRelations:
+    """Extracted logical relations ready for loss construction.
+
+    Attributes
+    ----------
+    membership:
+        ``(n_mem, 2)`` int array of (item, tag) pairs.
+    hierarchy:
+        ``(n_hie, 2)`` int array of (parent_tag, child_tag) pairs.
+    exclusion:
+        ``(n_ex, 2)`` int array of unordered (tag_i, tag_j) pairs, i < j.
+    exclusion_levels:
+        ``(n_ex,)`` int array: taxonomy level of each exclusive pair
+        (the ``k`` of Eq. 12).
+    """
+
+    membership: np.ndarray
+    hierarchy: np.ndarray
+    exclusion: np.ndarray
+    exclusion_levels: np.ndarray = field(default_factory=lambda: np.zeros(0,
+                                         dtype=np.int64))
+
+    @property
+    def counts(self) -> dict:
+        """Table-I style relation counts."""
+        return {
+            "n_membership": len(self.membership),
+            "n_hierarchy": len(self.hierarchy),
+            "n_exclusion": len(self.exclusion),
+        }
+
+    def exclusion_set(self) -> set:
+        """Set of frozenset pairs for O(1) exclusion lookups."""
+        return {frozenset((int(i), int(j))) for i, j in self.exclusion}
+
+
+def extract_membership(item_tags: sp.spmatrix) -> np.ndarray:
+    """All (item, tag) pairs present in the item-tag matrix Q."""
+    coo = sp.coo_matrix(item_tags)
+    pairs = np.stack([coo.row, coo.col], axis=1).astype(np.int64)
+    # Deterministic order: by item then tag.
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order]
+
+
+def extract_hierarchy(taxonomy: Taxonomy) -> np.ndarray:
+    """All (parent, child) edges of the taxonomy."""
+    pairs = [(int(p), t) for t, p in enumerate(taxonomy.parents) if p >= 0]
+    if not pairs:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def extract_exclusions(taxonomy: Taxonomy,
+                       item_tags: sp.spmatrix = None,
+                       max_item_overlap: float = 1.0
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Sibling pairs with no common child tag (the paper's noisy rule).
+
+    Parameters
+    ----------
+    taxonomy:
+        The tag forest.
+    item_tags:
+        Optional Q matrix; only used when ``max_item_overlap < 1``.
+    max_item_overlap:
+        If below 1, additionally require the Jaccard overlap of the two
+        tags' item sets to be at most this value.  The default keeps the
+        pure structural rule (including its false positives).
+
+    Returns
+    -------
+    (pairs, levels):
+        ``pairs`` is ``(n, 2)`` with ``pairs[:, 0] < pairs[:, 1]``;
+        ``levels[k]`` is the taxonomy level of pair ``k``.
+    """
+    items_by_tag = None
+    if item_tags is not None and max_item_overlap < 1.0:
+        csc = sp.csc_matrix(item_tags)
+        items_by_tag = [set(csc.indices[csc.indptr[t]:csc.indptr[t + 1]])
+                        for t in range(taxonomy.n_tags)]
+
+    pairs: List[Tuple[int, int]] = []
+    levels: List[int] = []
+    seen: set = set()
+    for tag in range(taxonomy.n_tags):
+        children_a = set(taxonomy.descendants(tag))
+        for sib in taxonomy.siblings(tag):
+            key = (min(tag, sib), max(tag, sib))
+            if key in seen:
+                continue
+            seen.add(key)
+            children_b = set(taxonomy.descendants(sib))
+            if children_a & children_b:
+                continue
+            if items_by_tag is not None:
+                set_a, set_b = items_by_tag[key[0]], items_by_tag[key[1]]
+                union = len(set_a | set_b)
+                if union > 0:
+                    jaccard = len(set_a & set_b) / union
+                    if jaccard > max_item_overlap:
+                        continue
+            pairs.append(key)
+            levels.append(taxonomy.level(tag))
+    if not pairs:
+        return (np.zeros((0, 2), dtype=np.int64),
+                np.zeros(0, dtype=np.int64))
+    return np.asarray(pairs, dtype=np.int64), np.asarray(levels,
+                                                         dtype=np.int64)
+
+
+def extract_relations(taxonomy: Taxonomy, item_tags: sp.spmatrix,
+                      max_item_overlap: float = 1.0) -> LogicalRelations:
+    """Run all three extractors and bundle the result."""
+    exclusion, levels = extract_exclusions(taxonomy, item_tags,
+                                           max_item_overlap)
+    return LogicalRelations(
+        membership=extract_membership(item_tags),
+        hierarchy=extract_hierarchy(taxonomy),
+        exclusion=exclusion,
+        exclusion_levels=levels,
+    )

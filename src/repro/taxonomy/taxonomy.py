@@ -1,0 +1,187 @@
+"""The :class:`Taxonomy` tree over tags.
+
+Tags are integer ids ``0 .. n_tags - 1``.  The taxonomy is a forest: every
+tag has at most one parent (``-1`` marks a root).  Levels are 1-based with
+roots at level 1, matching the paper's convention (η = total number of
+levels, empirically 4).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+class Taxonomy:
+    """A forest of tags with parent pointers and cached level structure.
+
+    Parameters
+    ----------
+    parents:
+        ``parents[t]`` is the parent tag id of ``t`` or ``-1`` for roots.
+    names:
+        Optional human-readable tag names (e.g. ``"<Alternative Rock>"``).
+    """
+
+    def __init__(self, parents: Sequence[int],
+                 names: Optional[Sequence[str]] = None):
+        self.parents = np.asarray(parents, dtype=np.int64)
+        if self.parents.ndim != 1:
+            raise ValueError("parents must be a 1-D sequence")
+        n = len(self.parents)
+        if names is None:
+            names = [f"tag_{t}" for t in range(n)]
+        if len(names) != n:
+            raise ValueError("names length must match parents length")
+        self.names: List[str] = list(names)
+        self._validate()
+        self._children: Dict[int, List[int]] = {t: [] for t in range(n)}
+        for t, p in enumerate(self.parents):
+            if p >= 0:
+                self._children[int(p)].append(t)
+        self.levels = self._compute_levels()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        n = len(self.parents)
+        for t, p in enumerate(self.parents):
+            if p == t:
+                raise ValueError(f"tag {t} is its own parent")
+            if p >= n:
+                raise ValueError(f"tag {t} has out-of-range parent {p}")
+        # Cycle check by walking to the root from every node.
+        for t in range(n):
+            seen = set()
+            node = t
+            while node != -1:
+                if node in seen:
+                    raise ValueError(f"cycle detected at tag {t}")
+                seen.add(node)
+                node = int(self.parents[node])
+
+    def _compute_levels(self) -> np.ndarray:
+        levels = np.zeros(len(self.parents), dtype=np.int64)
+        for t in range(len(self.parents)):
+            level = 1
+            node = int(self.parents[t])
+            while node != -1:
+                level += 1
+                node = int(self.parents[node])
+            levels[t] = level
+        return levels
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tags(self) -> int:
+        return len(self.parents)
+
+    @property
+    def depth(self) -> int:
+        """Total number of levels (the paper's η)."""
+        return int(self.levels.max()) if self.n_tags else 0
+
+    @property
+    def roots(self) -> List[int]:
+        return [t for t, p in enumerate(self.parents) if p == -1]
+
+    def children(self, tag: int) -> List[int]:
+        return list(self._children[tag])
+
+    def parent(self, tag: int) -> int:
+        return int(self.parents[tag])
+
+    def level(self, tag: int) -> int:
+        return int(self.levels[tag])
+
+    def is_leaf(self, tag: int) -> bool:
+        return not self._children[tag]
+
+    @property
+    def leaves(self) -> List[int]:
+        return [t for t in range(self.n_tags) if self.is_leaf(t)]
+
+    def ancestors(self, tag: int) -> List[int]:
+        """Ancestors from immediate parent up to the root (excluding tag)."""
+        out = []
+        node = int(self.parents[tag])
+        while node != -1:
+            out.append(node)
+            node = int(self.parents[node])
+        return out
+
+    def descendants(self, tag: int) -> List[int]:
+        """All strict descendants in BFS order."""
+        out: List[int] = []
+        frontier = list(self._children[tag])
+        while frontier:
+            node = frontier.pop()
+            out.append(node)
+            frontier.extend(self._children[node])
+        return out
+
+    def siblings(self, tag: int) -> List[int]:
+        """Tags sharing this tag's parent (roots are mutual siblings)."""
+        p = int(self.parents[tag])
+        if p == -1:
+            return [t for t in self.roots if t != tag]
+        return [t for t in self._children[p] if t != tag]
+
+    def subtree_leaves(self, tag: int) -> List[int]:
+        """Leaf tags under ``tag`` (including ``tag`` itself if a leaf)."""
+        if self.is_leaf(tag):
+            return [tag]
+        return [t for t in self.descendants(tag) if self.is_leaf(t)]
+
+    def lowest_common_ancestor(self, a: int, b: int) -> int:
+        """LCA of two tags, or ``-1`` if in different trees."""
+        anc_a = set([a] + self.ancestors(a))
+        node = b
+        while node != -1:
+            if node in anc_a:
+                return node
+            node = int(self.parents[node])
+        return -1
+
+    def tags_at_level(self, level: int) -> List[int]:
+        return [t for t in range(self.n_tags) if self.levels[t] == level]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"parents": self.parents.tolist(), "names": self.names}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Taxonomy":
+        return cls(payload["parents"], payload.get("names"))
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f)
+
+    @classmethod
+    def load(cls, path: str) -> "Taxonomy":
+        with open(path) as f:
+            return cls.from_dict(json.load(f))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def balanced(cls, depth: int, branching: int,
+                 n_roots: int = 1) -> "Taxonomy":
+        """Construct a balanced forest with the given depth and branching."""
+        parents: List[int] = [-1] * n_roots
+        frontier = list(range(n_roots))
+        for _ in range(depth - 1):
+            next_frontier = []
+            for node in frontier:
+                for _ in range(branching):
+                    parents.append(node)
+                    next_frontier.append(len(parents) - 1)
+            frontier = next_frontier
+        return cls(parents)
+
+    def __repr__(self) -> str:
+        return (f"Taxonomy(n_tags={self.n_tags}, depth={self.depth}, "
+                f"roots={len(self.roots)})")

@@ -1,0 +1,70 @@
+"""Minimal reverse-mode automatic differentiation over numpy.
+
+This subpackage replaces the PyTorch substrate used by the original paper.
+It provides a :class:`Tensor` wrapping a ``numpy.ndarray`` with a dynamic
+computation graph, a functional op library (:mod:`repro.tensor.ops`), and a
+sparse matrix-multiplication op used by the graph convolution layers
+(:mod:`repro.tensor.sparse`).
+
+Only the operations the recommendation models need are implemented, but each
+is implemented fully (forward + backward, with broadcasting support) and is
+unit- and property-tested against numerical differentiation.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor.ops import (
+    arcosh,
+    cat,
+    clamp,
+    clamp_min,
+    cosh,
+    dot,
+    exp,
+    gather_rows,
+    log,
+    logsumexp,
+    matmul,
+    maximum,
+    mean,
+    norm,
+    relu,
+    sigmoid,
+    sinh,
+    softplus,
+    sqrt,
+    stack,
+    sum as tsum,
+    tanh,
+    where,
+)
+from repro.tensor.sparse import sparse_matmul
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "arcosh",
+    "cat",
+    "clamp",
+    "clamp_min",
+    "cosh",
+    "dot",
+    "exp",
+    "gather_rows",
+    "log",
+    "logsumexp",
+    "matmul",
+    "maximum",
+    "mean",
+    "norm",
+    "relu",
+    "sigmoid",
+    "sinh",
+    "softplus",
+    "sqrt",
+    "stack",
+    "tsum",
+    "tanh",
+    "where",
+    "sparse_matmul",
+]

@@ -1,0 +1,92 @@
+"""Minimal neural-network layers over the autograd engine.
+
+Only what the neural baselines need: dense layers with sensible
+initialization, an MLP stack, and an embedding table wrapper.  Layers
+expose ``parameters()`` so optimizers can collect them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.optim.parameter import Parameter
+from repro.tensor.ops import gather_rows, relu
+from repro.tensor.tensor import Tensor
+
+
+class Linear:
+    """Dense layer ``y = x W + b`` with He/Glorot initialization."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None,
+                 init: str = "he", name: str = "linear"):
+        rng = rng if rng is not None else np.random.default_rng()
+        if init == "he":
+            scale = np.sqrt(2.0 / in_features)
+        elif init == "glorot":
+            scale = np.sqrt(2.0 / (in_features + out_features))
+        else:
+            raise ValueError(f"unknown init {init!r}")
+        self.weight = Parameter(
+            rng.normal(0.0, scale, (in_features, out_features)),
+            name=f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+
+class MLP:
+    """Stack of Linear layers with an activation between them.
+
+    ``sizes = (in, h1, ..., out)``; the activation is applied after every
+    layer except the last.
+    """
+
+    def __init__(self, sizes: Sequence[int],
+                 activation: Callable[[Tensor], Tensor] = relu,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "mlp"):
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.activation = activation
+        self.layers = [Linear(sizes[i], sizes[i + 1], rng=rng,
+                              name=f"{name}.{i}")
+                       for i in range(len(sizes) - 1)]
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < len(self.layers) - 1:
+                x = self.activation(x)
+        return x
+
+    def parameters(self) -> List[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+
+class Embedding:
+    """Lookup table with scatter-add gradients (like ``nn.Embedding``)."""
+
+    def __init__(self, n_rows: int, dim: int,
+                 rng: Optional[np.random.Generator] = None,
+                 scale: float = 0.1, name: str = "embedding"):
+        rng = rng if rng is not None else np.random.default_rng()
+        self.table = Parameter(rng.normal(0.0, scale, (n_rows, dim)),
+                               name=name)
+
+    def __call__(self, ids: np.ndarray) -> Tensor:
+        return gather_rows(self.table, ids)
+
+    @property
+    def data(self) -> np.ndarray:
+        return self.table.data
+
+    def parameters(self) -> List[Parameter]:
+        return [self.table]

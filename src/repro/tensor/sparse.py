@@ -1,0 +1,40 @@
+"""Sparse matrix multiplication op for graph convolutions.
+
+Graph convolution layers repeatedly compute ``A @ X`` where ``A`` is a fixed
+(normalized) sparse adjacency matrix and ``X`` a dense embedding matrix that
+requires grad.  The adjoint is ``A.T @ dY``.  ``A`` itself is never a
+learnable parameter in any of the reproduced models, so no gradient flows
+into it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tensor.tensor import Tensor
+
+
+def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Compute ``matrix @ x`` where ``matrix`` is scipy-sparse and constant.
+
+    Parameters
+    ----------
+    matrix:
+        A ``scipy.sparse`` matrix of shape ``(m, n)``; converted to CSR once.
+    x:
+        Dense :class:`Tensor` of shape ``(n, d)``.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError("sparse_matmul expects a scipy.sparse matrix")
+    csr = matrix.tocsr()
+    if csr.shape[1] != x.data.shape[0]:
+        raise ValueError(
+            f"shape mismatch: {csr.shape} @ {x.data.shape}")
+    data = np.asarray(csr @ x.data, dtype=np.float64)
+    csr_t = csr.T.tocsr()
+
+    def backward(g):
+        return (np.asarray(csr_t @ g, dtype=np.float64),)
+
+    return Tensor._make(data, (x,), backward)

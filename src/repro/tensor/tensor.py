@@ -1,0 +1,354 @@
+"""Core :class:`Tensor` type with reverse-mode automatic differentiation.
+
+The design follows the classic tape-based approach: every differentiable
+operation records its parents and a backward closure on the result tensor.
+Calling :meth:`Tensor.backward` topologically sorts the graph and accumulates
+gradients into ``.grad`` of every leaf with ``requires_grad=True``.
+
+All data is stored as ``float64`` numpy arrays.  Hyperbolic geometry is
+numerically delicate (``arcosh`` near 1, Poincare norms near 1), so we do not
+trade precision for speed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+Scalar = Union[int, float, np.floating]
+ArrayLike = Union[Scalar, Sequence, np.ndarray, "Tensor"]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting.
+
+    Numpy broadcasting may both prepend dimensions and stretch size-1 axes;
+    the adjoint of broadcasting is summation over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched size-1 axes.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy array plus a node in a dynamically built computation graph.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts; stored as ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` when
+        :meth:`backward` is called on a downstream scalar.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # make numpy defer to our __radd__ etc.
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Iterable["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create a result tensor, wiring the graph only if grad is enabled."""
+        parents = tuple(p for p in parents if isinstance(p, Tensor))
+        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        if needs:
+            out.requires_grad = True
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor.
+
+        If this tensor is not a scalar, an explicit ``grad`` of the same
+        shape must be supplied.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not "
+                               "require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be specified for non-scalar "
+                                   "tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological order via iterative DFS (recursion would overflow on
+        # deep graphs such as multi-layer GCNs unrolled over epochs).
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is not None:
+                node._push_parent_grads(node_grad, grads)
+            elif node.requires_grad:
+                node._accumulate(node_grad)
+
+    def _push_parent_grads(self, grad: np.ndarray,
+                           grads: dict[int, np.ndarray]) -> None:
+        """Run this node's backward closure, routing grads to parents.
+
+        The backward closure receives the output gradient and returns one
+        gradient (or ``None``) per parent, in order.
+        """
+        parent_grads = self._backward(grad)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None:
+                continue
+            pgrad = _unbroadcast(np.asarray(pgrad, dtype=np.float64),
+                                 parent.data.shape)
+            if parent._backward is None and parent.requires_grad:
+                # Leaf: accumulate into .grad immediately; also stash in the
+                # dict so repeated uses within one graph sum correctly.
+                pass
+            if id(parent) in grads:
+                grads[id(parent)] = grads[id(parent)] + pgrad
+            else:
+                grads[id(parent)] = pgrad
+        # Leaves get their .grad when popped in the main loop; intermediate
+        # nodes just propagate.  Leaf handling happens in backward().
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{flag})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data + other_t.data
+        return Tensor._make(data, (self, other_t),
+                            lambda g: (g, g))
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data - other_t.data
+        return Tensor._make(data, (self, other_t),
+                            lambda g: (g, -g))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(_as_array(other)) - self
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        data = self.data * other_t.data
+        a, b = self.data, other_t.data
+        return Tensor._make(data, (self, other_t),
+                            lambda g: (g * b, g * a))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        a, b = self.data, other_t.data
+        data = a / b
+        return Tensor._make(data, (self, other_t),
+                            lambda g: (g / b, -g * a / (b * b)))
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(_as_array(other)) / self
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        exponent = float(exponent)
+        data = self.data ** exponent
+        a = self.data
+        return Tensor._make(data, (self,),
+                            lambda g: (g * exponent * a ** (exponent - 1),))
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        a, b = self.data, other_t.data
+        data = a @ b
+
+        def backward(g):
+            ga = g @ b.swapaxes(-1, -2)
+            gb = a.swapaxes(-1, -2) @ g
+            return ga, gb
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    # Comparisons return plain numpy boolean arrays (no gradient flows).
+    def __gt__(self, other: ArrayLike):
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike):
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: ArrayLike):
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: ArrayLike):
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------
+    # Shaping / indexing
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        data = self.data.reshape(shape)
+        return Tensor._make(data, (self,),
+                            lambda g: (g.reshape(original),))
+
+    def transpose(self) -> "Tensor":
+        """Transpose the last two axes."""
+        data = self.data.swapaxes(-1, -2)
+        return Tensor._make(data, (self,),
+                            lambda g: (g.swapaxes(-1, -2),))
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        shape = self.data.shape
+
+        def backward(g):
+            out = np.zeros(shape, dtype=np.float64)
+            np.add.at(out, index, g)
+            return (out,)
+
+        return Tensor._make(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions (also available as module-level functions in ops.py)
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(g):
+            g = np.asarray(g, dtype=np.float64)
+            if axis is None:
+                return (np.broadcast_to(g, shape).copy(),)
+            if not keepdims:
+                g = np.expand_dims(g, axis)
+            return (np.broadcast_to(g, shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)

@@ -1,0 +1,126 @@
+"""Dependency-free SVG rendering of Poincare-disk embeddings (Fig. 7/8).
+
+The paper's Figures 7 and 8 are scatter plots of item embeddings in the
+Poincare disk, colored by tag.  No plotting library is available offline,
+so this module writes standalone SVG files: the unit circle, one dot per
+item, a qualitative color per tag group, and an optional overlay of tag
+regions (the enclosing-ball intersections with the disk).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+# A qualitative palette (cycled for > 12 groups).
+PALETTE = ["#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+           "#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+           "#1b9e77", "#7570b3"]
+
+
+def _color(index: int) -> str:
+    return PALETTE[index % len(PALETTE)]
+
+
+def render_poincare_disk(coords: np.ndarray, labels: np.ndarray,
+                         names: Optional[Sequence[str]] = None,
+                         size: int = 480,
+                         tag_regions: Optional[Dict[int, tuple]] = None,
+                         title: str = "") -> str:
+    """Return an SVG string of 2-D Poincare-disk points colored by label.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, 2)`` coordinates with norms < 1.
+    labels:
+        ``(n,)`` integer group per point (``-1`` = unlabelled, gray).
+    names:
+        Optional legend names indexed by label id.
+    size:
+        SVG canvas edge in pixels.
+    tag_regions:
+        Optional ``{label: (o, r)}`` Euclidean ball overlays (the
+        enclosing balls of tag hyperplanes), drawn as outline circles.
+    """
+    coords = np.asarray(coords, dtype=float)
+    labels = np.asarray(labels)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ValueError("coords must be (n, 2)")
+    if len(coords) != len(labels):
+        raise ValueError("labels length must match coords")
+    half = size / 2.0
+    radius = half * 0.92
+
+    def to_px(xy):
+        return half + xy[0] * radius, half - xy[1] * radius
+
+    unique = [l for l in np.unique(labels) if l >= 0]
+    color_of = {int(l): _color(i) for i, l in enumerate(unique)}
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">',
+        f'<rect width="{size}" height="{size}" fill="white"/>',
+        f'<circle cx="{half}" cy="{half}" r="{radius}" fill="none" '
+        f'stroke="#333" stroke-width="1.5"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{half}" y="18" text-anchor="middle" '
+                     f'font-family="sans-serif" font-size="14">'
+                     f'{title}</text>')
+    if tag_regions:
+        for label, (o, r) in tag_regions.items():
+            cx, cy = to_px(np.asarray(o, dtype=float))
+            parts.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" '
+                f'r="{float(r) * radius:.1f}" fill="none" '
+                f'stroke="{color_of.get(int(label), "#999")}" '
+                f'stroke-dasharray="4 3" stroke-width="1"/>')
+    for xy, label in zip(coords, labels):
+        cx, cy = to_px(xy)
+        fill = color_of.get(int(label), "#cccccc")
+        parts.append(f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="3" '
+                     f'fill="{fill}" fill-opacity="0.8"/>')
+    # Legend.
+    if names is not None:
+        y = 30
+        for label in unique:
+            name = names[int(label)] if int(label) < len(names) else str(
+                label)
+            parts.append(f'<circle cx="14" cy="{y}" r="4" '
+                         f'fill="{color_of[int(label)]}"/>')
+            parts.append(f'<text x="24" y="{y + 4}" '
+                         f'font-family="sans-serif" font-size="11">'
+                         f'{_escape(name)}</text>')
+            y += 16
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def save_embedding_figure(model, dataset, path: str,
+                          max_groups: int = 8, title: str = "") -> str:
+    """Render a trained LogiRec-family model's item embeddings to SVG.
+
+    Keeps only the ``max_groups`` most populated primary tags for a
+    readable figure (the paper's figures similarly subset tags).
+    Returns the path written.
+    """
+    from repro.experiments.figures import embedding_projection
+    projection = embedding_projection(model, dataset)
+    coords, labels = projection["coords"], projection["labels"].copy()
+    keep, counts = np.unique(labels[labels >= 0], return_counts=True)
+    top = set(keep[np.argsort(-counts)][:max_groups].tolist())
+    labels = np.where(np.isin(labels, list(top)), labels, -1)
+    svg = render_poincare_disk(
+        coords, labels, names=dataset.taxonomy.names,
+        title=title or f"{dataset.name}: item embeddings by tag")
+    with open(path, "w") as f:
+        f.write(svg)
+    return path

@@ -1,0 +1,237 @@
+"""Tests for the four LogiRec objectives and the hyperbolic GCN."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import (exclusion_loss, hierarchy_loss, hyperbolic_gcn,
+                        euclidean_gcn, membership_loss,
+                        recommendation_loss)
+from repro.core.losses import euclidean_recommendation_loss
+from repro.manifolds import Lorentz, enclosing_ball
+from repro.manifolds.hyperplane import enclosing_ball_np
+from repro.optim import Parameter, RiemannianSGD
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(11)
+
+
+def _tag_balls(centers):
+    return enclosing_ball(Tensor(centers) if not isinstance(
+        centers, Tensor) else centers)
+
+
+class TestMembershipLoss:
+    def test_zero_when_satisfied(self):
+        # Item at the ball's center direction, well inside.
+        center = np.array([[0.5, 0.0]])
+        o, r = enclosing_ball_np(center)
+        inside_point = o[0] * 0.99999 - np.array([r[0, 0] * 0.9, 0.0])
+        # Construct a point inside B(o, r): o - 0.9r along x.
+        item = (o - np.array([[r[0, 0] * 0.5, 0.0]]))
+        # Clip into the unit ball for realism.
+        item = item / max(np.linalg.norm(item) * 1.2, 1.0)
+        # Guarantee: recompute and only assert hinge >= 0 and equals
+        # violation formula.
+        loss = membership_loss(Tensor(item), _tag_balls(center),
+                               np.array([[0, 0]]))
+        expected = max(0.0, np.linalg.norm(item - o) - r[0, 0])
+        assert loss.item() == pytest.approx(expected, abs=1e-9)
+
+    def test_positive_when_outside(self):
+        center = np.array([[0.5, 0.0]])
+        item = np.array([[-0.9, 0.0]])  # far side of the ball
+        loss = membership_loss(Tensor(item), _tag_balls(center),
+                               np.array([[0, 0]]))
+        assert loss.item() > 0
+
+    def test_empty_pairs(self):
+        loss = membership_loss(Tensor(np.zeros((2, 2))),
+                               _tag_balls(np.array([[0.5, 0.0]])),
+                               np.zeros((0, 2), dtype=np.int64))
+        assert loss.item() == 0.0
+
+    def test_gradient_pulls_item_into_region(self):
+        center = np.array([[0.5, 0.0]])
+        item = Parameter(np.array([[-0.5, 0.0]]))
+        o, r = enclosing_ball_np(center)
+        before = np.linalg.norm(item.data - o) - r[0, 0]
+        opt = RiemannianSGD([item], lr=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            membership_loss(item, _tag_balls(center),
+                            np.array([[0, 0]])).backward()
+            opt.step()
+        after = np.linalg.norm(item.data - o) - r[0, 0]
+        assert after < before
+
+
+class TestHierarchyLoss:
+    def test_zero_when_contained(self):
+        # Parent near origin (big radius), child farther out (small).
+        centers = np.array([[0.2, 0.0], [0.21, 0.0]])
+        o, r = enclosing_ball_np(centers)
+        gap = np.linalg.norm(o[0] - o[1])
+        if gap + r[1, 0] < r[0, 0]:
+            loss = hierarchy_loss(_tag_balls(centers),
+                                  np.array([[0, 1]]))
+            assert loss.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_when_violated(self):
+        # Parent far out (small ball), child near origin (huge ball):
+        # containment impossible.
+        centers = np.array([[0.9, 0.0], [0.05, 0.0]])
+        loss = hierarchy_loss(_tag_balls(centers), np.array([[0, 1]]))
+        assert loss.item() > 0
+
+    def test_training_restores_containment(self):
+        centers = Parameter(np.array([[0.8, 0.0], [0.1, 0.0]]))
+        pairs = np.array([[0, 1]])
+        opt = RiemannianSGD([centers], lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = hierarchy_loss(enclosing_ball(centers), pairs)
+            if loss.item() < 1e-6:
+                break
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.05
+
+
+class TestExclusionLoss:
+    def test_zero_when_disjoint(self):
+        # Opposite directions, far out: small balls, far apart.
+        centers = np.array([[0.8, 0.0], [-0.8, 0.0]])
+        loss = exclusion_loss(_tag_balls(centers), np.array([[0, 1]]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_when_overlapping(self):
+        centers = np.array([[0.3, 0.0], [0.31, 0.0]])
+        loss = exclusion_loss(_tag_balls(centers), np.array([[0, 1]]))
+        assert loss.item() > 0
+
+    def test_pair_weights_scale_loss(self):
+        centers = np.array([[0.3, 0.0], [0.31, 0.0]])
+        balls = _tag_balls(centers)
+        pairs = np.array([[0, 1]])
+        base = exclusion_loss(balls, pairs).item()
+        halved = exclusion_loss(balls, pairs,
+                                pair_weights=np.array([0.5])).item()
+        assert halved == pytest.approx(base * 0.5)
+
+    def test_training_separates_balls(self):
+        centers = Parameter(np.array([[0.4, 0.05], [0.4, -0.05]]))
+        pairs = np.array([[0, 1]])
+        opt = RiemannianSGD([centers], lr=0.05)
+        start = exclusion_loss(enclosing_ball(centers), pairs).item()
+        assert start > 0
+        for _ in range(300):
+            opt.zero_grad()
+            loss = exclusion_loss(enclosing_ball(centers), pairs)
+            if loss.item() < 1e-8:
+                break
+            loss.backward()
+            opt.step()
+        assert loss.item() < start * 0.5
+
+
+class TestRecommendationLoss:
+    def _triplet(self):
+        manifold = Lorentz()
+        u = Tensor(manifold.random((6, 5), RNG))
+        p = Tensor(manifold.random((6, 5), RNG))
+        q = Tensor(manifold.random((6, 5), RNG))
+        return u, p, q
+
+    def test_nonnegative(self):
+        u, p, q = self._triplet()
+        assert recommendation_loss(u, p, q, margin=0.1).item() >= 0
+
+    def test_zero_when_positive_much_closer(self):
+        manifold = Lorentz()
+        u_data = manifold.random((3, 4), RNG)
+        far = manifold.random((3, 4), np.random.default_rng(99),
+                              scale=3.0)
+        loss = recommendation_loss(Tensor(u_data), Tensor(u_data),
+                                   Tensor(far), margin=0.0)
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_user_weights_applied(self):
+        u, p, q = self._triplet()
+        base = recommendation_loss(u, p, q, margin=1.0).item()
+        doubled = recommendation_loss(
+            u, p, q, margin=1.0, user_weights=np.full(6, 2.0)).item()
+        assert doubled == pytest.approx(base * 2.0, rel=1e-9)
+
+    def test_margin_monotonicity(self):
+        u, p, q = self._triplet()
+        small = recommendation_loss(u, p, q, margin=0.1).item()
+        large = recommendation_loss(u, p, q, margin=5.0).item()
+        assert large >= small
+
+    def test_euclidean_variant(self):
+        u = Tensor(RNG.normal(size=(4, 3)))
+        p = Tensor(RNG.normal(size=(4, 3)))
+        q = Tensor(RNG.normal(size=(4, 3)))
+        loss = euclidean_recommendation_loss(u, p, q, margin=0.5)
+        assert loss.item() >= 0
+        weighted = euclidean_recommendation_loss(
+            u, p, q, margin=0.5, user_weights=np.zeros(4))
+        assert weighted.item() == 0.0
+
+
+class TestHyperbolicGCN:
+    def _setup(self, n_users=6, n_items=8, d=4):
+        manifold = Lorentz()
+        users = Tensor(manifold.random((n_users, d + 1), RNG))
+        items = Tensor(manifold.random((n_items, d + 1), RNG))
+        mat = sp.random(n_users, n_items, density=0.4, random_state=1,
+                        format="csr")
+        mat.data[:] = 1.0
+        deg_u = np.maximum(np.asarray(mat.sum(axis=1)).ravel(), 1)
+        deg_i = np.maximum(np.asarray(mat.sum(axis=0)).ravel(), 1)
+        a_ui = sp.diags(1.0 / deg_u) @ mat
+        a_iu = sp.diags(1.0 / deg_i) @ mat.T
+        return users, items, a_ui.tocsr(), a_iu.tocsr()
+
+    def test_outputs_on_hyperboloid(self):
+        users, items, a_ui, a_iu = self._setup()
+        out_u, out_v = hyperbolic_gcn(users, items, a_ui, a_iu, 3)
+        np.testing.assert_allclose(
+            Lorentz.inner_np(out_u.data, out_u.data), -1.0, atol=1e-8)
+        np.testing.assert_allclose(
+            Lorentz.inner_np(out_v.data, out_v.data), -1.0, atol=1e-8)
+
+    def test_zero_layers_identity(self):
+        users, items, a_ui, a_iu = self._setup()
+        out_u, out_v = hyperbolic_gcn(users, items, a_ui, a_iu, 0)
+        np.testing.assert_allclose(out_u.data, users.data)
+        np.testing.assert_allclose(out_v.data, items.data)
+
+    def test_gradient_flows_to_inputs(self):
+        users, items, a_ui, a_iu = self._setup()
+        users.requires_grad = True
+        out_u, out_v = hyperbolic_gcn(users, items, a_ui, a_iu, 2)
+        Lorentz.sqdist(out_u[0:1], out_v[0:1]).sum().backward()
+        assert users.grad is not None
+        assert np.isfinite(users.grad).all()
+
+    def test_isolated_node_unchanged_direction(self):
+        """A user with no interactions keeps its own (scaled) embedding."""
+        users, items, a_ui, a_iu = self._setup()
+        a_ui_z = a_ui.tolil()
+        a_ui_z[0, :] = 0.0
+        out_u, _ = hyperbolic_gcn(users, items, a_ui_z.tocsr(), a_iu, 2)
+        z0 = Lorentz.logmap0(users).data[0, 1:]
+        z_out = Lorentz.logmap0(out_u).data[0, 1:]
+        cos = z0 @ z_out / (np.linalg.norm(z0) * np.linalg.norm(z_out))
+        assert cos == pytest.approx(1.0, abs=1e-9)
+
+    def test_euclidean_gcn_matches_manual(self):
+        u = Tensor(np.ones((2, 3)))
+        v = Tensor(np.ones((3, 3)) * 2.0)
+        a_ui = sp.csr_matrix(np.array([[1.0, 0, 0], [0, 0.5, 0.5]]))
+        a_iu = sp.csr_matrix(np.array([[1.0, 0], [0, 1.0], [0, 1.0]]))
+        out_u, out_v = euclidean_gcn(u, v, a_ui, a_iu, 1)
+        # z_u^1 = z_u^0 + A z_v^0 = 1 + 2 = 3 everywhere; sum/1 = 3.
+        np.testing.assert_allclose(out_u.data, 3.0)

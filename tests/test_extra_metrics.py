@@ -1,0 +1,126 @@
+"""Tests for the beyond-accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import LogiRecConfig, LogiRecPP
+from repro.data import SyntheticConfig, generate_dataset, temporal_split
+from repro.eval.extra_metrics import (average_precision_at_k,
+                                      beyond_accuracy_report,
+                                      catalog_coverage,
+                                      exclusion_violation_at_k,
+                                      precision_at_k, reciprocal_rank,
+                                      tag_consistency_at_k)
+
+
+class TestPrecisionFamily:
+    def test_precision(self):
+        ranked = np.array([1, 2, 3, 4])
+        assert precision_at_k(ranked, {1, 3}, 4) == 0.5
+        assert precision_at_k(ranked, {1}, 2) == 0.5
+
+    def test_precision_empty_truth_raises(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.array([1]), set(), 1)
+
+    def test_average_precision_perfect(self):
+        assert average_precision_at_k(np.array([5, 6]), {5, 6},
+                                      2) == pytest.approx(1.0)
+
+    def test_average_precision_order_matters(self):
+        early = average_precision_at_k(np.array([5, 9, 9]), {5}, 3)
+        late = average_precision_at_k(np.array([9, 9, 5]), {5}, 3)
+        assert early > late
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(np.array([9, 5, 7]), {5}) == 0.5
+        assert reciprocal_rank(np.array([9, 8]), {5}) == 0.0
+        assert reciprocal_rank(np.array([5]), {5}) == 1.0
+
+    def test_catalog_coverage(self):
+        lists = [np.array([0, 1]), np.array([1, 2])]
+        assert catalog_coverage(lists, 10) == pytest.approx(0.3)
+
+
+class TestTagAwareMetrics:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_dataset(SyntheticConfig(n_users=20, n_items=60,
+                                                depth=3, branching=3,
+                                                seed=6))
+
+    def test_tag_consistency_full_when_same_tags(self, dataset):
+        # Recommend items carrying exactly the user's tags.
+        csr = dataset.item_tags
+        item0_tags = set(csr.indices[csr.indptr[0]:csr.indptr[1]])
+        score = tag_consistency_at_k(np.array([0]), item0_tags, dataset,
+                                     k=1)
+        assert score == 1.0
+
+    def test_tag_consistency_zero_without_user_tags(self, dataset):
+        assert tag_consistency_at_k(np.array([0]), set(), dataset,
+                                    k=1) == 0.0
+
+    def test_exclusion_violation_detects_conflicts(self, dataset):
+        exclusions = dataset.relations.exclusion
+        if len(exclusions) == 0:
+            pytest.skip("no exclusions in this realization")
+        t_i, t_j = map(int, exclusions[0])
+        csc = dataset.item_tags.tocsc()
+        items_j = csc.indices[csc.indptr[t_j]:csc.indptr[t_j + 1]]
+        # Only count items carrying t_j but NOT t_i (overlap items carry
+        # both and never violate for a {t_i}-user).
+        clean = [i for i in items_j
+                 if dataset.item_tags[i, t_i] == 0]
+        if not clean:
+            pytest.skip("all items of the pair overlap")
+        violation = exclusion_violation_at_k(
+            np.array(clean[:1]), {t_i}, dataset, k=1)
+        assert violation == 1.0
+
+    def test_exclusion_violation_zero_for_consistent(self, dataset):
+        exclusions = dataset.relations.exclusion
+        if len(exclusions) == 0:
+            pytest.skip("no exclusions in this realization")
+        t_i = int(exclusions[0][0])
+        csc = dataset.item_tags.tocsc()
+        items_i = csc.indices[csc.indptr[t_i]:csc.indptr[t_i + 1]]
+        exclusion_set = dataset.relations.exclusion_set()
+        clean = [item for item in items_i
+                 if not any(frozenset((int(t), t_i)) in exclusion_set
+                            for t in dataset.tags_of_items(
+                                np.array([item]))[0])]
+        if not clean:
+            pytest.skip("no clean item found")
+        violation = exclusion_violation_at_k(
+            np.array(clean[:1]), {t_i}, dataset, k=1)
+        assert violation == 0.0
+
+
+class TestBeyondAccuracyReport:
+    def test_report_keys_and_ranges(self):
+        ds = generate_dataset(SyntheticConfig(n_users=25, n_items=50,
+                                              seed=12))
+        split = temporal_split(ds)
+        model = LogiRecPP(ds.n_users, ds.n_items, ds.n_tags,
+                          LogiRecConfig(dim=8, epochs=8, seed=0))
+        model.fit(ds, split)
+        report = beyond_accuracy_report(model, ds, split, k=5)
+        for key in ("precision", "map", "mrr", "tag_consistency",
+                    "exclusion_violation", "catalog_coverage"):
+            assert key in report
+            assert 0.0 <= report[key] <= 1.0
+
+    def test_logic_model_has_high_tag_consistency(self):
+        """The paper's qualitative claim: logic-aware recommendations
+        respect the user's tag neighbourhood."""
+        ds = generate_dataset(SyntheticConfig(n_users=60, n_items=100,
+                                              depth=3, branching=3,
+                                              seed=13))
+        split = temporal_split(ds)
+        model = LogiRecPP(ds.n_users, ds.n_items, ds.n_tags,
+                          LogiRecConfig(dim=8, epochs=40, lam=2.0,
+                                        seed=0))
+        model.fit(ds, split)
+        report = beyond_accuracy_report(model, ds, split, k=10)
+        assert report["tag_consistency"] > 0.5

@@ -1,0 +1,89 @@
+"""Property-based tests of the graph convolution's structural invariants."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hgcn import euclidean_gcn, hyperbolic_gcn
+from repro.manifolds import Lorentz
+from repro.tensor import Tensor
+
+
+def _random_graph(n_users, n_items, seed):
+    rng = np.random.default_rng(seed)
+    mat = sp.random(n_users, n_items, density=0.5,
+                    random_state=seed, format="csr")
+    mat.data[:] = 1.0
+    deg_u = np.maximum(np.asarray(mat.sum(axis=1)).ravel(), 1)
+    deg_i = np.maximum(np.asarray(mat.sum(axis=0)).ravel(), 1)
+    a_ui = (sp.diags(1.0 / deg_u) @ mat).tocsr()
+    a_iu = (sp.diags(1.0 / deg_i) @ mat.T).tocsr()
+    users = Lorentz().random((n_users, 4), rng)
+    items = Lorentz().random((n_items, 4), rng)
+    return users, items, a_ui, a_iu, mat
+
+
+class TestPermutationEquivariance:
+    @given(st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_item_permutation_equivariance(self, seed):
+        """Permuting item ids permutes outputs identically: the GCN has
+        no positional dependence on node ordering."""
+        users, items, a_ui, a_iu, mat = _random_graph(5, 7, seed)
+        perm = np.random.default_rng(seed).permutation(7)
+        out_u, out_v = hyperbolic_gcn(Tensor(users), Tensor(items),
+                                      a_ui, a_iu, 2)
+        # Permute items and adjacency columns/rows consistently.
+        mat_p = mat[:, perm]
+        deg_u = np.maximum(np.asarray(mat_p.sum(axis=1)).ravel(), 1)
+        deg_i = np.maximum(np.asarray(mat_p.sum(axis=0)).ravel(), 1)
+        a_ui_p = (sp.diags(1.0 / deg_u) @ mat_p).tocsr()
+        a_iu_p = (sp.diags(1.0 / deg_i) @ mat_p.T).tocsr()
+        out_u_p, out_v_p = hyperbolic_gcn(
+            Tensor(users), Tensor(items[perm]), a_ui_p, a_iu_p, 2)
+        np.testing.assert_allclose(out_u_p.data, out_u.data, atol=1e-9)
+        np.testing.assert_allclose(out_v_p.data, out_v.data[perm],
+                                   atol=1e-9)
+
+    @given(st.integers(1, 4))
+    @settings(max_examples=8, deadline=None)
+    def test_outputs_always_on_manifold(self, layers):
+        users, items, a_ui, a_iu, _ = _random_graph(6, 8, layers)
+        out_u, out_v = hyperbolic_gcn(Tensor(users), Tensor(items),
+                                      a_ui, a_iu, layers)
+        np.testing.assert_allclose(
+            Lorentz.inner_np(out_u.data, out_u.data), -1.0, atol=1e-8)
+        np.testing.assert_allclose(
+            Lorentz.inner_np(out_v.data, out_v.data), -1.0, atol=1e-8)
+
+    def test_euclidean_gcn_linearity(self):
+        """The Euclidean GCN is linear: f(x + y) = f(x) + f(y)."""
+        rng = np.random.default_rng(0)
+        _, _, a_ui, a_iu, _ = _random_graph(5, 7, 0)
+        u1, v1 = rng.normal(size=(5, 3)), rng.normal(size=(7, 3))
+        u2, v2 = rng.normal(size=(5, 3)), rng.normal(size=(7, 3))
+        fu1, fv1 = euclidean_gcn(Tensor(u1), Tensor(v1), a_ui, a_iu, 2)
+        fu2, fv2 = euclidean_gcn(Tensor(u2), Tensor(v2), a_ui, a_iu, 2)
+        fu12, fv12 = euclidean_gcn(Tensor(u1 + u2), Tensor(v1 + v2),
+                                   a_ui, a_iu, 2)
+        np.testing.assert_allclose(fu12.data, fu1.data + fu2.data,
+                                   atol=1e-9)
+        np.testing.assert_allclose(fv12.data, fv1.data + fv2.data,
+                                   atol=1e-9)
+
+    def test_deeper_propagation_smooths(self):
+        """Variance of item embeddings shrinks with depth (mean
+        aggregation contracts toward neighbourhood averages)."""
+        users, items, a_ui, a_iu, _ = _random_graph(10, 14, 3)
+        spreads = []
+        for layers in (1, 4):
+            _, out_v = euclidean_gcn(
+                Tensor(users[:, 1:]), Tensor(items[:, 1:]),
+                a_ui, a_iu, layers)
+            centred = out_v.data - out_v.data.mean(axis=0)
+            # Normalize scale before comparing spread.
+            centred /= max(np.abs(out_v.data).max(), 1e-12)
+            spreads.append(np.linalg.norm(centred))
+        assert spreads[1] <= spreads[0] * 1.5

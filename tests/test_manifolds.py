@@ -1,0 +1,339 @@
+"""Tests for hyperbolic geometry: distances, maps, predicates, gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.manifolds import (Lorentz, PoincareBall, ball_contains_ball,
+                             ball_contains_point, balls_disjoint,
+                             enclosing_ball, lorentz_to_poincare,
+                             poincare_to_lorentz)
+from repro.manifolds.base import Euclidean
+from repro.manifolds.hyperplane import enclosing_ball_np
+from repro.manifolds.maps import (lorentz_to_poincare_np,
+                                  poincare_to_lorentz_np)
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(7)
+
+
+def _poincare_points(n, d, scale=0.2):
+    return PoincareBall().random((n, d), RNG, scale=scale)
+
+
+def _lorentz_points(n, d, scale=0.3):
+    return Lorentz().random((n, d + 1), RNG, scale=scale)
+
+
+class TestPoincare:
+    def test_distance_symmetry(self):
+        x, y = _poincare_points(5, 4), _poincare_points(5, 4)
+        d_xy = PoincareBall.distance(Tensor(x), Tensor(y)).data
+        d_yx = PoincareBall.distance(Tensor(y), Tensor(x)).data
+        np.testing.assert_allclose(d_xy, d_yx, atol=1e-12)
+
+    def test_distance_identity_zero(self):
+        x = _poincare_points(4, 3)
+        d = PoincareBall.distance(Tensor(x), Tensor(x)).data
+        np.testing.assert_allclose(d, 0.0, atol=1e-5)
+
+    def test_distance_positive(self):
+        x, y = _poincare_points(10, 3), _poincare_points(10, 3)
+        d = PoincareBall.distance(Tensor(x), Tensor(y)).data
+        assert (d >= 0).all()
+
+    def test_triangle_inequality(self):
+        x, y, z = (_poincare_points(20, 3) for _ in range(3))
+        d = lambda a, b: PoincareBall.distance(Tensor(a), Tensor(b)).data
+        assert (d(x, z) <= d(x, y) + d(y, z) + 1e-9).all()
+
+    def test_distance_matches_known_value(self):
+        # d(0, x) = 2 artanh(||x||)
+        x = np.array([[0.5, 0.0]])
+        origin = np.zeros((1, 2))
+        d = PoincareBall.distance(Tensor(origin), Tensor(x)).item()
+        assert d == pytest.approx(2 * np.arctanh(0.5), rel=1e-9)
+
+    def test_mobius_add_zero_identity(self):
+        x = _poincare_points(5, 3)
+        out = PoincareBall.mobius_add(Tensor(x),
+                                      Tensor(np.zeros_like(x))).data
+        np.testing.assert_allclose(out, x, atol=1e-12)
+
+    def test_mobius_add_left_inverse(self):
+        x = _poincare_points(5, 3)
+        out = PoincareBall.mobius_add(Tensor(-x), Tensor(x)).data
+        np.testing.assert_allclose(out, 0.0, atol=1e-9)
+
+    def test_expmap_stays_in_ball(self):
+        ball = PoincareBall()
+        x = _poincare_points(10, 4)
+        v = RNG.normal(0, 2.0, (10, 4))
+        out = PoincareBall.expmap(Tensor(x), Tensor(v)).data
+        assert (np.linalg.norm(out, axis=1) < 1.0).all()
+
+    def test_project_clips_outside_points(self):
+        ball = PoincareBall()
+        x = RNG.normal(0, 3.0, (20, 4))
+        proj = ball.project(x)
+        assert (np.linalg.norm(proj, axis=1) < 1.0).all()
+
+    def test_project_keeps_inside_points(self):
+        ball = PoincareBall()
+        x = _poincare_points(10, 4, scale=0.1)
+        np.testing.assert_allclose(ball.project(x), x)
+
+    def test_egrad2rgrad_conformal_factor(self):
+        ball = PoincareBall()
+        x = np.zeros((1, 3))
+        grad = np.ones((1, 3))
+        # At the origin the factor is (1/2)^2 = 0.25.
+        np.testing.assert_allclose(ball.egrad2rgrad(x, grad), 0.25)
+
+    def test_retract_moves_toward_negative_gradient(self):
+        ball = PoincareBall()
+        x = np.array([[0.3, 0.0]])
+        tangent = np.array([[-0.1, 0.0]])
+        out = ball.retract(x, tangent)
+        assert out[0, 0] < 0.3
+
+    def test_dist_to_origin_monotone_in_norm(self):
+        near = PoincareBall.dist_to_origin(
+            Tensor(np.array([[0.1, 0.0]]))).item()
+        far = PoincareBall.dist_to_origin(
+            Tensor(np.array([[0.8, 0.0]]))).item()
+        assert far > near
+
+
+class TestLorentz:
+    def test_points_on_hyperboloid(self):
+        pts = _lorentz_points(10, 5)
+        inner = Lorentz.inner_np(pts, pts)
+        np.testing.assert_allclose(inner, -1.0, atol=1e-9)
+
+    def test_distance_symmetry_and_identity(self):
+        x, y = _lorentz_points(6, 4), _lorentz_points(6, 4)
+        d_xy = Lorentz.distance(Tensor(x), Tensor(y)).data
+        d_yx = Lorentz.distance(Tensor(y), Tensor(x)).data
+        np.testing.assert_allclose(d_xy, d_yx, atol=1e-12)
+        d_xx = Lorentz.distance(Tensor(x), Tensor(x)).data
+        np.testing.assert_allclose(d_xx, 0.0, atol=1e-4)
+
+    def test_sqdist_monotone_with_distance(self):
+        x = _lorentz_points(50, 4)
+        y = _lorentz_points(50, 4)
+        d = Lorentz.distance(Tensor(x), Tensor(y)).data
+        sq = Lorentz.sqdist(Tensor(x), Tensor(y)).data
+        order_d = np.argsort(d)
+        order_sq = np.argsort(sq)
+        np.testing.assert_array_equal(order_d, order_sq)
+
+    def test_sqdist_formula(self):
+        x, y = _lorentz_points(5, 3), _lorentz_points(5, 3)
+        sq = Lorentz.sqdist(Tensor(x), Tensor(y)).data
+        d = Lorentz.distance(Tensor(x), Tensor(y)).data
+        np.testing.assert_allclose(sq, 2 * (np.cosh(d) - 1), atol=1e-6)
+
+    def test_logmap_expmap_roundtrip(self):
+        pts = _lorentz_points(8, 5)
+        z = Lorentz.logmap0(Tensor(pts))
+        back = Lorentz.expmap0(z).data
+        np.testing.assert_allclose(back, pts, atol=1e-9)
+
+    def test_logmap0_time_coordinate_zero(self):
+        pts = _lorentz_points(8, 5)
+        z = Lorentz.logmap0(Tensor(pts)).data
+        np.testing.assert_allclose(z[:, 0], 0.0, atol=1e-12)
+
+    def test_expmap0_lands_on_hyperboloid(self):
+        v = np.concatenate([np.zeros((6, 1)),
+                            RNG.normal(0, 1, (6, 4))], axis=1)
+        out = Lorentz.expmap0(Tensor(v)).data
+        np.testing.assert_allclose(Lorentz.inner_np(out, out), -1.0,
+                                   atol=1e-9)
+
+    def test_project_restores_constraint(self):
+        manifold = Lorentz()
+        x = RNG.normal(0, 1, (10, 5))
+        proj = manifold.project(x)
+        np.testing.assert_allclose(Lorentz.inner_np(proj, proj), -1.0,
+                                   atol=1e-9)
+        assert (proj[:, 0] > 0).all()
+
+    def test_project_caps_runaway_points(self):
+        manifold = Lorentz()
+        x = np.zeros((1, 3))
+        x[0, 1] = 1e30
+        proj = manifold.project(x)
+        assert np.isfinite(proj).all()
+        assert Lorentz.inner_np(proj, proj) == pytest.approx(-1.0,
+                                                             abs=1e-6)
+
+    def test_egrad2rgrad_tangency(self):
+        manifold = Lorentz()
+        x = _lorentz_points(5, 4)
+        grad = RNG.normal(size=(5, 5))
+        rgrad = manifold.egrad2rgrad(x, grad)
+        # Riemannian gradient must be tangent: <x, rgrad>_L = 0.
+        np.testing.assert_allclose(Lorentz.inner_np(x, rgrad), 0.0,
+                                   atol=1e-9)
+
+    def test_proj_tangent(self):
+        manifold = Lorentz()
+        x = _lorentz_points(5, 4)
+        v = RNG.normal(size=(5, 5))
+        t = manifold.proj_tangent(x, v)
+        np.testing.assert_allclose(Lorentz.inner_np(x, t), 0.0, atol=1e-9)
+
+    def test_retract_stays_on_manifold(self):
+        manifold = Lorentz()
+        x = _lorentz_points(5, 4)
+        tangent = manifold.proj_tangent(x, RNG.normal(size=(5, 5)))
+        out = manifold.retract(x, 0.1 * tangent)
+        np.testing.assert_allclose(Lorentz.inner_np(out, out), -1.0,
+                                   atol=1e-8)
+
+    def test_dist_to_origin(self):
+        pts = _lorentz_points(6, 3)
+        d = Lorentz.dist_to_origin(Tensor(pts)).data
+        np.testing.assert_allclose(d, np.arccosh(pts[:, 0]), atol=1e-12)
+
+
+class TestDiffeomorphisms:
+    def test_roundtrip_lorentz(self):
+        pts = _lorentz_points(10, 4)
+        back = poincare_to_lorentz(lorentz_to_poincare(Tensor(pts))).data
+        np.testing.assert_allclose(back, pts, atol=1e-9)
+
+    def test_roundtrip_poincare(self):
+        pts = _poincare_points(10, 4)
+        back = lorentz_to_poincare(poincare_to_lorentz(Tensor(pts))).data
+        np.testing.assert_allclose(back, pts, atol=1e-12)
+
+    def test_maps_preserve_distances(self):
+        """The diffeomorphism is an isometry: d_P(x,y) == d_H(p^-1 x, p^-1 y)."""
+        x, y = _poincare_points(8, 3), _poincare_points(8, 3)
+        d_p = PoincareBall.distance(Tensor(x), Tensor(y)).data
+        d_h = Lorentz.distance(poincare_to_lorentz(Tensor(x)),
+                               poincare_to_lorentz(Tensor(y))).data
+        np.testing.assert_allclose(d_p, d_h, atol=1e-7)
+
+    def test_numpy_mirrors_match_tensor_versions(self):
+        pts = _lorentz_points(5, 4)
+        np.testing.assert_allclose(lorentz_to_poincare_np(pts),
+                                   lorentz_to_poincare(Tensor(pts)).data)
+        ball_pts = _poincare_points(5, 4)
+        np.testing.assert_allclose(poincare_to_lorentz_np(ball_pts),
+                                   poincare_to_lorentz(
+                                       Tensor(ball_pts)).data)
+
+    def test_origin_maps_to_origin(self):
+        origin_l = np.array([[1.0, 0.0, 0.0]])
+        p = lorentz_to_poincare(Tensor(origin_l)).data
+        np.testing.assert_allclose(p, 0.0, atol=1e-12)
+
+
+class TestHyperplanes:
+    def test_enclosing_ball_formulas(self):
+        c = np.array([[0.5, 0.0]])
+        o, r = enclosing_ball_np(c)
+        # ||o|| = (1 + 0.25) / (2 * 0.5) = 1.25, along c's direction.
+        np.testing.assert_allclose(o, [[1.25, 0.0]])
+        assert r[0, 0] == pytest.approx((1 - 0.25) / (2 * 0.5))
+
+    def test_ball_center_outside_unit_ball(self):
+        """o_c always lies outside P^d (perpendicular intersection)."""
+        c = _poincare_points(20, 3, scale=0.4)
+        norms = np.linalg.norm(c, axis=1)
+        mask = norms > 1e-3
+        o, _ = enclosing_ball_np(c[mask])
+        assert (np.linalg.norm(o, axis=1) > 1.0).all()
+
+    def test_perpendicularity_identity(self):
+        """||o_c||^2 = 1 + r_c^2 — the perpendicular-intersection identity."""
+        c = _poincare_points(20, 3, scale=0.4)
+        c = c[np.linalg.norm(c, axis=1) > 1e-2]
+        o, r = enclosing_ball_np(c)
+        np.testing.assert_allclose(np.sum(o * o, axis=1),
+                                   1.0 + r[:, 0] ** 2, atol=1e-9)
+
+    def test_tensor_and_numpy_agree(self):
+        c = _poincare_points(10, 4, scale=0.4)
+        o_t, r_t = enclosing_ball(Tensor(c))
+        o_n, r_n = enclosing_ball_np(c)
+        np.testing.assert_allclose(o_t.data, o_n, atol=1e-12)
+        np.testing.assert_allclose(r_t.data, r_n, atol=1e-12)
+
+    def test_gradient_flows_through_ball(self):
+        c = Tensor(np.array([[0.5, 0.1]]), requires_grad=True)
+        o, r = enclosing_ball(c)
+        (o.sum() + r.sum()).backward()
+        assert c.grad is not None
+        assert np.isfinite(c.grad).all()
+
+    def test_membership_predicate(self):
+        o = np.array([[2.0, 0.0]])
+        r = np.array([[1.5]])
+        inside = np.array([[1.0, 0.0]])
+        outside = np.array([[-1.0, 0.0]])
+        assert ball_contains_point(o, r, inside).all()
+        assert not ball_contains_point(o, r, outside).any()
+
+    def test_containment_predicate(self):
+        o_big = np.array([[0.0, 0.0]])
+        r_big = np.array([[2.0]])
+        o_small = np.array([[0.5, 0.0]])
+        r_small = np.array([[0.5]])
+        assert ball_contains_ball(o_big, r_big, o_small, r_small).all()
+        assert not ball_contains_ball(o_small, r_small, o_big,
+                                      r_big).any()
+
+    def test_disjoint_predicate(self):
+        o_i = np.array([[0.0, 0.0]])
+        o_j = np.array([[5.0, 0.0]])
+        r = np.array([[1.0]])
+        assert balls_disjoint(o_i, r, o_j, r).all()
+        assert not balls_disjoint(o_i, r, o_i, r).any()
+
+    def test_radius_shrinks_with_center_norm(self):
+        """Fine-grained tags (far centers) get small regions — the
+        granularity geometry of Section V-B."""
+        near = enclosing_ball_np(np.array([[0.3, 0.0]]))[1][0, 0]
+        far = enclosing_ball_np(np.array([[0.9, 0.0]]))[1][0, 0]
+        assert far < near
+
+
+class TestEuclideanManifold:
+    def test_noop_projection_and_retraction(self):
+        m = Euclidean()
+        x = RNG.normal(size=(3, 2))
+        np.testing.assert_allclose(m.project(x), x)
+        np.testing.assert_allclose(m.retract(x, -x), 0.0)
+        np.testing.assert_allclose(m.egrad2rgrad(x, x), x)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(-0.5, 0.5), min_size=2, max_size=2))
+    @settings(max_examples=50, deadline=None)
+    def test_poincare_lorentz_roundtrip_property(self, coords):
+        x = np.asarray([coords])
+        if np.linalg.norm(x) >= 0.95:
+            return
+        back = lorentz_to_poincare(poincare_to_lorentz(Tensor(x))).data
+        np.testing.assert_allclose(back, x, atol=1e-9)
+
+    @given(st.floats(0.05, 0.9))
+    @settings(max_examples=50, deadline=None)
+    def test_enclosing_ball_identity_property(self, c_norm):
+        c = np.array([[c_norm, 0.0]])
+        o, r = enclosing_ball_np(c)
+        assert np.sum(o * o) == pytest.approx(1.0 + r[0, 0] ** 2,
+                                              rel=1e-9)
+
+    @given(st.integers(2, 6), st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_lorentz_random_valid(self, d, seed):
+        pts = Lorentz().random((4, d + 1), np.random.default_rng(seed))
+        np.testing.assert_allclose(Lorentz.inner_np(pts, pts), -1.0,
+                                   atol=1e-9)

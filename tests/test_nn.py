@@ -1,0 +1,97 @@
+"""Tests for the neural layer module."""
+
+import numpy as np
+import pytest
+
+from repro.optim import Adam
+from repro.tensor import Tensor
+from repro.tensor.nn import MLP, Embedding, Linear
+
+RNG = np.random.default_rng(41)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=RNG)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_matches_manual(self):
+        layer = Linear(2, 2, rng=RNG)
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_parameters_trainable(self):
+        layer = Linear(3, 1, rng=RNG)
+        x_data = RNG.normal(size=(16, 3))
+        w_true = np.array([[1.0], [-2.0], [0.5]])
+        x = Tensor(x_data)
+        target = Tensor(x_data @ w_true + 0.3)  # realizable mapping
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            loss = ((layer(x) - target) ** 2).mean()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-3
+
+    def test_init_schemes(self):
+        he = Linear(100, 10, rng=np.random.default_rng(0), init="he")
+        glorot = Linear(100, 10, rng=np.random.default_rng(0),
+                        init="glorot")
+        assert he.weight.data.std() > glorot.weight.data.std()
+        with pytest.raises(ValueError):
+            Linear(2, 2, init="magic")
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        mlp = MLP((4, 8, 2), rng=RNG)
+        assert mlp(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_parameter_count(self):
+        mlp = MLP((4, 8, 2), rng=RNG)
+        assert len(mlp.parameters()) == 4  # 2 layers x (W, b)
+
+    def test_single_layer_no_activation(self):
+        """The last layer is linear: a (2, 2) MLP equals its Linear."""
+        mlp = MLP((2, 2), rng=np.random.default_rng(7))
+        x = np.array([[-5.0, -5.0]])  # relu would zero this if applied
+        out = mlp(Tensor(x)).data
+        expected = x @ mlp.layers[0].weight.data + mlp.layers[0].bias.data
+        np.testing.assert_allclose(out, expected)
+
+    def test_learns_xor(self):
+        x = Tensor(np.array([[0, 0], [0, 1], [1, 0], [1, 1]],
+                            dtype=float))
+        y = Tensor(np.array([[0.0], [1.0], [1.0], [0.0]]))
+        mlp = MLP((2, 8, 1), rng=np.random.default_rng(3))
+        opt = Adam(mlp.parameters(), lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            loss = ((mlp(x) - y) ** 2).mean()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.05
+
+    def test_too_few_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MLP((4,))
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(5, 3, rng=RNG)
+        out = emb(np.array([0, 2, 0]))
+        np.testing.assert_allclose(out.data[0], out.data[2])
+        np.testing.assert_allclose(out.data[1], emb.data[2])
+
+    def test_duplicate_gradient_accumulates(self):
+        emb = Embedding(4, 2, rng=RNG)
+        out = emb(np.array([1, 1, 3]))
+        out.sum().backward()
+        grad = emb.table.grad
+        np.testing.assert_allclose(grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(grad[3], [1.0, 1.0])
+        np.testing.assert_allclose(grad[0], [0.0, 0.0])

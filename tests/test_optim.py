@@ -1,0 +1,175 @@
+"""Tests for optimizers: SGD, Adam, Riemannian SGD/Adam."""
+
+import numpy as np
+import pytest
+
+from repro.manifolds import Lorentz, PoincareBall
+from repro.optim import Adam, Parameter, RiemannianAdam, RiemannianSGD, SGD
+from repro.tensor import Tensor, norm
+
+
+def _quadratic_step(optimizer_cls, **kwargs):
+    """One optimization run on f(x) = ||x - target||^2."""
+    target = np.array([1.0, -2.0, 3.0])
+    p = Parameter(np.zeros(3))
+    opt = optimizer_cls([p], **kwargs)
+    for _ in range(300):
+        opt.zero_grad()
+        loss = ((p - Tensor(target)) ** 2).sum()
+        loss.backward()
+        opt.step()
+    return p.data, target
+
+
+class TestEuclideanOptimizers:
+    def test_sgd_converges_on_quadratic(self):
+        final, target = _quadratic_step(SGD, lr=0.1)
+        np.testing.assert_allclose(final, target, atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        final, target = _quadratic_step(SGD, lr=0.05, momentum=0.9)
+        np.testing.assert_allclose(final, target, atol=1e-3)
+
+    def test_adam_converges_on_quadratic(self):
+        final, target = _quadratic_step(Adam, lr=0.1)
+        np.testing.assert_allclose(final, target, atol=1e-3)
+
+    def test_gradient_clipping(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=1.0, max_grad_norm=0.1)
+        opt.zero_grad()
+        (p * 1e6).sum().backward()
+        opt.step()
+        # Step length is bounded by lr * max_grad_norm.
+        assert np.linalg.norm(p.data) <= 0.1 + 1e-12
+
+    def test_none_grad_skipped(self):
+        p = Parameter(np.ones(2))
+        q = Parameter(np.ones(2))
+        opt = SGD([p, q], lr=0.5)
+        opt.zero_grad()
+        (p * 2.0).sum().backward()  # q gets no gradient
+        opt.step()
+        np.testing.assert_allclose(q.data, 1.0)
+        assert (p.data != 1.0).all()
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestRiemannianSGD:
+    def test_lorentz_param_stays_on_manifold(self):
+        manifold = Lorentz()
+        rng = np.random.default_rng(0)
+        p = Parameter.random((8, 5), manifold, rng)
+        target = Tensor(manifold.random((8, 5), rng))
+        opt = RiemannianSGD([p], lr=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            Lorentz.sqdist(p, target).sum().backward()
+            opt.step()
+            np.testing.assert_allclose(Lorentz.inner_np(p.data, p.data),
+                                       -1.0, atol=1e-8)
+
+    def test_lorentz_sqdist_decreases(self):
+        manifold = Lorentz()
+        rng = np.random.default_rng(1)
+        p = Parameter.random((4, 4), manifold, rng)
+        target = Tensor(manifold.random((4, 4), rng))
+        opt = RiemannianSGD([p], lr=0.1)
+
+        def current():
+            return Lorentz.sqdist(Tensor(p.data), target).data.sum()
+
+        before = current()
+        for _ in range(100):
+            opt.zero_grad()
+            Lorentz.sqdist(p, target).sum().backward()
+            opt.step()
+        assert current() < before * 0.1
+
+    def test_poincare_param_stays_in_ball(self):
+        ball = PoincareBall()
+        rng = np.random.default_rng(2)
+        p = Parameter.random((6, 3), ball, rng, scale=0.3)
+        target = Tensor(ball.random((6, 3), rng, scale=0.3))
+        opt = RiemannianSGD([p], lr=0.5)
+        for _ in range(50):
+            opt.zero_grad()
+            PoincareBall.distance(p, target).sum().backward()
+            opt.step()
+            assert (np.linalg.norm(p.data, axis=1) < 1.0).all()
+
+    def test_poincare_distance_decreases(self):
+        ball = PoincareBall()
+        rng = np.random.default_rng(3)
+        p = Parameter.random((5, 3), ball, rng, scale=0.4)
+        target = Tensor(ball.random((5, 3), rng, scale=0.4))
+        opt = RiemannianSGD([p], lr=0.3)
+
+        def current():
+            return PoincareBall.distance(Tensor(p.data),
+                                         target).data.sum()
+
+        before = current()
+        for _ in range(150):
+            opt.zero_grad()
+            PoincareBall.distance(p, target).sum().backward()
+            opt.step()
+        assert current() < before * 0.5
+
+    def test_nonfinite_gradient_skipped(self):
+        p = Parameter(np.ones(2))
+        opt = RiemannianSGD([p], lr=0.1, max_grad_norm=None)
+        p.grad = np.array([np.nan, 1.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, 1.0)  # update skipped
+
+    def test_euclidean_param_reduces_to_sgd(self):
+        p = Parameter(np.array([10.0]))
+        opt = RiemannianSGD([p], lr=0.1)
+        opt.zero_grad()
+        (p * p).sum().backward()
+        opt.step()
+        # SGD step: 10 - 0.1 * 20 = 8.
+        np.testing.assert_allclose(p.data, [8.0])
+
+
+class TestRiemannianAdam:
+    def test_lorentz_constraint_preserved(self):
+        manifold = Lorentz()
+        rng = np.random.default_rng(4)
+        p = Parameter.random((6, 4), manifold, rng)
+        target = Tensor(manifold.random((6, 4), rng))
+        opt = RiemannianAdam([p], lr=0.05)
+        for _ in range(60):
+            opt.zero_grad()
+            Lorentz.sqdist(p, target).sum().backward()
+            opt.step()
+            np.testing.assert_allclose(Lorentz.inner_np(p.data, p.data),
+                                       -1.0, atol=1e-8)
+
+    def test_converges_on_quadratic(self):
+        final, target = _quadratic_step(RiemannianAdam, lr=0.1)
+        np.testing.assert_allclose(final, target, atol=1e-2)
+
+
+class TestParameter:
+    def test_random_on_manifold(self):
+        p = Parameter.random((5, 4), Lorentz(), np.random.default_rng(0))
+        np.testing.assert_allclose(Lorentz.inner_np(p.data, p.data), -1.0,
+                                   atol=1e-9)
+
+    def test_requires_grad_set(self):
+        p = Parameter(np.zeros(3))
+        assert p.requires_grad
+
+    def test_default_manifold_euclidean(self):
+        p = Parameter(np.zeros(3))
+        assert p.manifold.name == "euclidean"
+
+    def test_repr(self):
+        p = Parameter(np.zeros((2, 3)), name="emb")
+        assert "emb" in repr(p)
+        assert "(2, 3)" in repr(p)

@@ -1,0 +1,72 @@
+"""Tests for the sparse matmul op used by graph convolutions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import Tensor, sparse_matmul
+
+RNG = np.random.default_rng(31)
+
+
+class TestSparseMatmul:
+    def test_matches_dense(self):
+        a = sp.random(6, 4, density=0.5, random_state=1, format="csr")
+        x = Tensor(RNG.normal(size=(4, 3)))
+        out = sparse_matmul(a, x)
+        np.testing.assert_allclose(out.data, a.todense() @ x.data,
+                                   atol=1e-12)
+
+    def test_backward_is_transpose(self):
+        a = sp.random(5, 7, density=0.4, random_state=2, format="csr")
+        x = Tensor(RNG.normal(size=(7, 2)), requires_grad=True)
+        sparse_matmul(a, x).sum().backward()
+        expected = np.asarray(a.T.todense() @ np.ones((5, 2)))
+        np.testing.assert_allclose(x.grad, expected, atol=1e-12)
+
+    def test_gradcheck(self):
+        a = sp.random(4, 4, density=0.6, random_state=3, format="csr")
+        x_data = RNG.normal(size=(4, 3))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        (sparse_matmul(a, x) ** 2).sum().backward()
+        eps = 1e-6
+        num = np.zeros_like(x_data)
+        for i in range(4):
+            for j in range(3):
+                for sign in (1, -1):
+                    pert = x_data.copy()
+                    pert[i, j] += sign * eps
+                    val = (np.asarray(a @ pert) ** 2).sum()
+                    num[i, j] += sign * val / (2 * eps)
+        np.testing.assert_allclose(x.grad, num, atol=1e-5)
+
+    def test_accepts_all_sparse_formats(self):
+        dense = np.eye(3)
+        x = Tensor(RNG.normal(size=(3, 2)))
+        for fmt in (sp.csr_matrix, sp.csc_matrix, sp.coo_matrix):
+            out = sparse_matmul(fmt(dense), x)
+            np.testing.assert_allclose(out.data, x.data)
+
+    def test_rejects_dense_matrix(self):
+        with pytest.raises(TypeError):
+            sparse_matmul(np.eye(3), Tensor(np.ones((3, 1))))
+
+    def test_shape_mismatch(self):
+        a = sp.eye(3, format="csr")
+        with pytest.raises(ValueError):
+            sparse_matmul(a, Tensor(np.ones((4, 2))))
+
+    def test_empty_matrix(self):
+        a = sp.csr_matrix((3, 5))
+        out = sparse_matmul(a, Tensor(np.ones((5, 2))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_chained_through_graph(self):
+        """Gradient flows through two stacked sparse matmuls (as in a
+        2-layer GCN)."""
+        a = sp.random(6, 6, density=0.5, random_state=5, format="csr")
+        x = Tensor(RNG.normal(size=(6, 2)), requires_grad=True)
+        out = sparse_matmul(a, sparse_matmul(a, x))
+        out.sum().backward()
+        expected = np.asarray((a.T @ (a.T @ np.ones((6, 2)))))
+        np.testing.assert_allclose(x.grad, expected, atol=1e-12)

@@ -1,0 +1,337 @@
+"""Tests for the autograd engine: every op's forward and backward."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import (Tensor, arcosh, cat, clamp, clamp_min, cosh, dot,
+                          exp, gather_rows, is_grad_enabled, log, logsumexp,
+                          matmul, maximum, mean, no_grad, norm, relu,
+                          sigmoid, sinh, softplus, sqrt, stack, tanh, tsum,
+                          where)
+
+RNG = np.random.default_rng(42)
+
+
+def numerical_grad(fn, x, eps=1e-6):
+    """Central-difference gradient of a scalar-valued fn at x."""
+    grad = np.zeros_like(x)
+    flat = grad.ravel()
+    x_flat = x.ravel()
+    for i in range(x.size):
+        orig = x_flat[i]
+        x_flat[i] = orig + eps
+        f_plus = fn(x.copy())
+        x_flat[i] = orig - eps
+        f_minus = fn(x.copy())
+        x_flat[i] = orig
+        flat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def check_grad(op, x_data, atol=1e-5):
+    """Compare analytic vs numerical gradient for a unary op."""
+    x = Tensor(x_data.copy(), requires_grad=True)
+    out = op(x).sum()
+    out.backward()
+    num = numerical_grad(lambda arr: op(Tensor(arr)).sum().item(),
+                         x_data.copy())
+    np.testing.assert_allclose(x.grad, num, atol=atol)
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([1.0], requires_grad=True)
+        ((-a) - a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-2.0])
+
+    def test_div_backward(self):
+        check_grad(lambda x: x / 3.0, RNG.normal(1.0, 0.1, (4,)))
+        a = Tensor([4.0], requires_grad=True)
+        (8.0 / a).backward()
+        np.testing.assert_allclose(a.grad, [-8.0 / 16.0])
+
+    def test_pow_backward(self):
+        check_grad(lambda x: x ** 3, RNG.normal(1.0, 0.2, (5,)))
+
+    def test_scalar_broadcast(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        (a * 2.0 + 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((3, 2), 2.0))
+
+    def test_broadcast_row_vector(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones((1, 3)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(b.grad, np.full((1, 3), 4.0))
+
+    def test_matmul_backward(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad,
+                                   np.ones((3, 2)) @ b.data.T)
+        np.testing.assert_allclose(b.grad,
+                                   a.data.T @ np.ones((3, 2)))
+
+    def test_repeated_use_accumulates(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).backward()  # d(a^2)/da = 2a
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_diamond_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2.0
+        c = a * 3.0
+        (b + c).backward()
+        np.testing.assert_allclose(a.grad, [5.0])
+
+
+class TestElementwiseOps:
+    @pytest.mark.parametrize("op", [exp, tanh, sigmoid, cosh, sinh,
+                                    softplus])
+    def test_smooth_ops_grad(self, op):
+        check_grad(op, RNG.normal(0.0, 0.5, (6,)))
+
+    def test_log_grad(self):
+        check_grad(log, RNG.uniform(0.5, 2.0, (6,)))
+
+    def test_sqrt_grad(self):
+        check_grad(sqrt, RNG.uniform(0.5, 2.0, (6,)))
+
+    def test_sqrt_at_zero_no_nan(self):
+        x = Tensor(np.zeros(3), requires_grad=True)
+        sqrt(x).sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_arcosh_grad(self):
+        check_grad(arcosh, RNG.uniform(1.5, 3.0, (6,)))
+
+    def test_arcosh_clamps_below_domain(self):
+        x = Tensor(np.array([0.5, 1.0, 2.0]), requires_grad=True)
+        out = arcosh(x)
+        assert np.isfinite(out.data).all()
+        assert out.data[0] == pytest.approx(0.0, abs=1e-5)
+        out.sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_relu(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        relu(x).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_clamp_min_grad_masks(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        clamp_min(x, 0.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_clamp_two_sided(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        out = clamp(x, -1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_routes_gradient(self):
+        a = Tensor(np.array([1.0, 5.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+
+    def test_where(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([10.0, 20.0]), requires_grad=True)
+        out = where(np.array([True, False]), a, b)
+        np.testing.assert_allclose(out.data, [1.0, 20.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_mean_grad(self):
+        x = Tensor(np.ones((2, 5)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 5), 0.1))
+
+    def test_mean_axis(self):
+        x = Tensor(np.ones((2, 5)), requires_grad=True)
+        x.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 5), 0.2))
+
+    def test_norm_grad(self):
+        check_grad(lambda x: norm(x, axis=-1),
+                   RNG.normal(1.0, 0.3, (4, 3)))
+
+    def test_norm_at_zero_is_finite(self):
+        x = Tensor(np.zeros((2, 3)), requires_grad=True)
+        norm(x, axis=-1).sum().backward()
+        assert np.isfinite(x.grad).all()
+
+    def test_logsumexp_matches_numpy(self):
+        x_data = RNG.normal(size=(3, 5))
+        out = logsumexp(Tensor(x_data), axis=1)
+        expected = np.log(np.exp(x_data).sum(axis=1))
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+    def test_logsumexp_grad(self):
+        check_grad(lambda x: logsumexp(x, axis=-1),
+                   RNG.normal(size=(2, 4)))
+
+    def test_dot(self):
+        a = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        b = Tensor(np.array([[3.0, 4.0]]))
+        out = dot(a, b)
+        np.testing.assert_allclose(out.data, [11.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [[3.0, 4.0]])
+
+
+class TestIndexing:
+    def test_gather_rows_forward(self):
+        x = Tensor(np.arange(12.0).reshape(4, 3))
+        out = gather_rows(x, np.array([2, 0]))
+        np.testing.assert_allclose(out.data, [[6, 7, 8], [0, 1, 2]])
+
+    def test_gather_rows_duplicate_accumulates(self):
+        x = Tensor(np.zeros((3, 2)), requires_grad=True)
+        gather_rows(x, np.array([1, 1, 2])).sum().backward()
+        np.testing.assert_allclose(x.grad,
+                                   [[0, 0], [2, 2], [1, 1]])
+
+    def test_getitem_backward(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x[0].sum().backward()
+        np.testing.assert_allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_slice_last_axis(self):
+        x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        x[..., 1:].sum().backward()
+        expected = np.ones((3, 4))
+        expected[:, 0] = 0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_cat_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = cat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((2, 3), 2.0))
+
+    def test_stack_backward(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        out = stack([a, b], axis=0)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(3))
+
+    def test_reshape_roundtrip(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(6))
+
+    def test_transpose(self):
+        x = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        assert x.T.shape == (3, 2)
+        x.T.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+
+class TestGradMode:
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_nesting(self):
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach(self):
+        a = Tensor([1.0], requires_grad=True)
+        d = a.detach()
+        assert not d.requires_grad
+        assert d.data is a.data  # shares storage
+
+    def test_backward_on_nonscalar_requires_grad_arg(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_without_requires_grad_raises(self):
+        a = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(-3, 3), min_size=1, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_exp_log_inverse(self, values):
+        x = np.asarray(values)
+        out = log(exp(Tensor(x)))
+        np.testing.assert_allclose(out.data, x, atol=1e-9)
+
+    @given(st.lists(st.floats(-5, 5), min_size=2, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_linearity_of_grad(self, values):
+        x_data = np.asarray(values)
+        x = Tensor(x_data, requires_grad=True)
+        (x.sum() * 3.0).backward()
+        np.testing.assert_allclose(x.grad, np.full_like(x_data, 3.0))
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_shape(self, n, m):
+        a = Tensor(np.ones((n, 4)))
+        b = Tensor(np.ones((4, m)))
+        assert (a @ b).shape == (n, m)
+
+    @given(st.lists(st.floats(0.1, 10), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_norm_nonnegative_and_triangle(self, values):
+        x = np.asarray(values)
+        n1 = norm(Tensor(x), axis=-1).item()
+        n2 = norm(Tensor(-x), axis=-1).item()
+        assert n1 >= 0
+        assert n1 == pytest.approx(n2)
+        both = norm(Tensor(x + x), axis=-1).item()
+        assert both <= n1 + n2 + 1e-9

@@ -1,0 +1,156 @@
+"""Tests for LogiRec++'s weighting mechanisms (Eq. 11-14)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.weighting import (consistency_weights, granularity_weights,
+                                  personalized_weights, tag_frequencies)
+from repro.taxonomy import LogicalRelations
+
+
+def _relations(exclusions, levels=None):
+    pairs = np.asarray(exclusions, dtype=np.int64).reshape(-1, 2)
+    if levels is None:
+        levels = np.full(len(pairs), 2, dtype=np.int64)
+    return LogicalRelations(
+        membership=np.zeros((0, 2), dtype=np.int64),
+        hierarchy=np.zeros((0, 2), dtype=np.int64),
+        exclusion=pairs,
+        exclusion_levels=np.asarray(levels, dtype=np.int64))
+
+
+class TestTagFrequencies:
+    def test_formula(self):
+        tags = np.array([1, 1, 2])
+        tf = tag_frequencies(tags)
+        assert tf[1] == pytest.approx(np.log(3) / np.log(3))
+        assert tf[2] == pytest.approx(np.log(2) / np.log(3))
+
+    def test_empty_and_singleton(self):
+        assert tag_frequencies(np.array([])) == {}
+        assert tag_frequencies(np.array([5])) == {}
+
+    def test_more_frequent_tag_higher_tf(self):
+        tf = tag_frequencies(np.array([1, 1, 1, 2]))
+        assert tf[1] > tf[2]
+
+
+class TestConsistency:
+    def test_no_exclusions_gives_one(self):
+        rel = _relations(np.zeros((0, 2)))
+        con = consistency_weights({0: np.array([1, 2, 3])}, rel, 1)
+        np.testing.assert_allclose(con, 1.0)
+
+    def test_user_without_exclusive_tags_gets_one(self):
+        rel = _relations([[1, 2]])
+        con = consistency_weights({0: np.array([3, 4, 5])}, rel, 1)
+        assert con[0] == pytest.approx(1.0)
+
+    def test_exclusive_pair_lowers_consistency(self):
+        rel = _relations([[1, 2]])
+        consistent = consistency_weights({0: np.array([1, 1, 3])}, rel, 2)
+        diverse = consistency_weights({1: np.array([1, 2, 1, 2])}, rel, 2)
+        assert diverse[1] < consistent[0]
+        assert consistent[0] == pytest.approx(1.0)  # pair not co-present
+
+    def test_lower_level_exclusion_penalized_harder(self):
+        """Eq. 12's exp(eta - k): an abstract (level-2) conflict hurts
+        more than a deep (level-4) one."""
+        tags = {0: np.array([1, 2, 1, 2])}
+        shallow = consistency_weights(tags, _relations([[1, 2]], [2]), 1,
+                                      eta=4)
+        deep = consistency_weights(tags, _relations([[1, 2]], [4]), 1,
+                                   eta=4)
+        assert shallow[0] < deep[0]
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        tags = {u: rng.integers(0, 10, size=20) for u in range(5)}
+        rel = _relations([[i, j] for i in range(10) for j in
+                          range(i + 1, 10)])
+        con = consistency_weights(tags, rel, 5)
+        assert (con > 0).all()
+        assert (con <= 1).all()
+
+    def test_missing_users_default_one(self):
+        rel = _relations([[1, 2]])
+        con = consistency_weights({}, rel, 3)
+        np.testing.assert_allclose(con, 1.0)
+
+
+class TestGranularity:
+    def test_origin_zero(self):
+        origin = np.array([[1.0, 0.0, 0.0]])
+        np.testing.assert_allclose(granularity_weights(origin), 0.0)
+
+    def test_monotone_in_time_coordinate(self):
+        points = np.array([[1.0, 0.0], [2.0, np.sqrt(3.0)],
+                           [5.0, np.sqrt(24.0)]])
+        gr = granularity_weights(points)
+        assert gr[0] < gr[1] < gr[2]
+
+    def test_equals_arccosh_of_x0(self):
+        pts = np.array([[3.0, np.sqrt(8.0)]])
+        assert granularity_weights(pts)[0] == pytest.approx(np.arccosh(3))
+
+
+class TestPersonalizedWeights:
+    def test_geometric_mean(self):
+        alpha = personalized_weights(np.array([0.81]), np.array([0.25]),
+                                     normalize=False, clip=None)
+        assert alpha[0] == pytest.approx(np.sqrt(0.81 * 0.25))
+
+    def test_normalization_mean_one(self):
+        rng = np.random.default_rng(1)
+        con = rng.uniform(0.1, 1.0, 50)
+        gr = rng.uniform(0.1, 2.0, 50)
+        alpha = personalized_weights(con, gr)
+        assert alpha.mean() == pytest.approx(1.0, rel=1e-6)
+
+    def test_clip_bounds_dynamic_range(self):
+        con = np.array([1e-9, 1.0])
+        gr = np.array([1e-9, 1.0])
+        alpha = personalized_weights(con, gr, clip=(0.3, 3.0))
+        # Dynamic range bounded by the clip ratio even after renormalizing.
+        assert alpha.max() / alpha.min() <= 10.0 + 1e-9
+        assert (alpha > 0).all()
+
+    def test_ablation_switches(self):
+        con = np.array([0.5, 1.0])
+        gr = np.array([1.0, 1.0])
+        only_gr = personalized_weights(con, gr, use_consistency=False,
+                                       normalize=False, clip=None)
+        np.testing.assert_allclose(only_gr, 1.0)
+        only_con = personalized_weights(con, gr, use_granularity=False,
+                                        normalize=False, clip=None)
+        np.testing.assert_allclose(only_con, np.sqrt(con))
+
+    def test_ordering_preserved_by_clip(self):
+        rng = np.random.default_rng(2)
+        con = rng.uniform(0.01, 1.0, 30)
+        gr = rng.uniform(0.1, 2.0, 30)
+        raw = personalized_weights(con, gr, normalize=False, clip=None)
+        clipped = personalized_weights(con, gr)
+        # Where the clip does not bind, ordering must match.
+        order_raw = np.argsort(raw)
+        assert (np.diff(clipped[order_raw]) >= -1e-12).all()
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(0, 5), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_tf_bounded(self, tags):
+        tf = tag_frequencies(np.asarray(tags))
+        for value in tf.values():
+            assert 0 < value <= np.log(len(tags) + 1) / np.log(len(tags))
+
+    @given(st.integers(1, 8), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_alpha_positive(self, n_users, seed):
+        rng = np.random.default_rng(seed)
+        con = rng.uniform(0.0, 1.0, n_users)
+        gr = rng.uniform(0.0, 3.0, n_users)
+        alpha = personalized_weights(con, gr)
+        assert (alpha > 0).all()
