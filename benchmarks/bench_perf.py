@@ -1,0 +1,221 @@
+"""Perf benchmark: the three hot paths, with regression tracking.
+
+Times full-ranking evaluation (users/s), negative sampling (triplets/s),
+and the train step (ms/step) for LogiRec++ and LightGCN, comparing the
+vectorized implementations against the pre-vectorization reference loops
+that are kept on the classes (``Evaluator._reference_evaluate``,
+``TripletSampler._reference_is_positive``).  Results go to
+``BENCH_perf.json`` at the repository root so future PRs have a
+machine-readable trajectory to beat; see DESIGN.md § Performance for how
+to read it.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_perf.py``) or
+through pytest (``pytest benchmarks/bench_perf.py``).  Set
+``REPRO_BENCH_FAST=1`` for the quick-smoke scale used by the tier-1
+perf-regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Callable, Dict
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+# Default bench scale: the largest Table-I mirror, upscaled so the hot
+# paths dominate over per-call overhead; fast mode shrinks it for smoke
+# runs (the speedup floors are relaxed accordingly).
+BENCH_DATASET = "book"
+BENCH_SCALE = 1.0 if FAST else 3.0
+EVAL_REPEATS = 1 if FAST else 3
+SAMPLER_ROUNDS = 2 if FAST else 5
+TRAIN_STEPS = 3 if FAST else 10
+
+
+class _FixedScoreModel:
+    """Deterministic random scorer: times the harness, not a model."""
+
+    def __init__(self, n_users: int, n_items: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self._scores = rng.standard_normal((n_users, n_items))
+
+    def score_users(self, user_ids: np.ndarray) -> np.ndarray:
+        return self._scores[np.asarray(user_ids, dtype=np.int64)]
+
+
+def _best_time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall time of ``fn`` (min absorbs scheduler noise)."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_evaluation(dataset, split) -> Dict[str, object]:
+    from repro.eval import Evaluator
+
+    evaluator = Evaluator(dataset, split, ks=(10, 20))
+    model = _FixedScoreModel(dataset.n_users, dataset.n_items)
+    n_users = len(evaluator._eval_users(evaluator._test_items))
+
+    vect = evaluator.evaluate_test(model)
+    ref = evaluator._reference_evaluate(model, evaluator._test_items)
+    identical = all(np.array_equal(vect.per_user[m], ref.per_user[m])
+                    for m in vect.per_user)
+
+    t_vect = _best_time(lambda: evaluator.evaluate_test(model),
+                        EVAL_REPEATS)
+    t_ref = _best_time(
+        lambda: evaluator._reference_evaluate(model,
+                                              evaluator._test_items),
+        EVAL_REPEATS)
+    return {
+        "n_eval_users": int(n_users),
+        "reference_s": t_ref,
+        "vectorized_s": t_vect,
+        "reference_users_per_s": n_users / t_ref,
+        "vectorized_users_per_s": n_users / t_vect,
+        "speedup": t_ref / t_vect,
+        "identical_per_user_vectors": bool(identical),
+    }
+
+
+def bench_sampling(dataset, split, batch_size: int = 4096
+                   ) -> Dict[str, object]:
+    from repro.data.sampling import TripletSampler
+
+    class _ReferenceSampler(TripletSampler):
+        """The sampler as it was: per-triplet membership loop."""
+        _is_positive = TripletSampler._reference_is_positive
+
+    def _drain(sampler) -> int:
+        return sum(len(u) for u, _, _ in sampler.epoch(batch_size))
+
+    fast_sampler = TripletSampler(dataset, split.train,
+                                  rng=np.random.default_rng(0))
+    ref_sampler = _ReferenceSampler(dataset, split.train,
+                                    rng=np.random.default_rng(0))
+    n_triplets = len(fast_sampler)
+    t_vect = _best_time(lambda: _drain(fast_sampler), SAMPLER_ROUNDS)
+    t_ref = _best_time(lambda: _drain(ref_sampler),
+                       max(1, SAMPLER_ROUNDS // 2))
+    return {
+        "n_triplets_per_epoch": int(n_triplets),
+        "batch_size": batch_size,
+        "reference_s": t_ref,
+        "vectorized_s": t_vect,
+        "reference_triplets_per_s": n_triplets / t_ref,
+        "vectorized_triplets_per_s": n_triplets / t_vect,
+        "speedup": t_ref / t_vect,
+    }
+
+
+def bench_train_step(dataset, split, model_names=("LogiRec++", "LightGCN")
+                     ) -> Dict[str, Dict[str, float]]:
+    """Latency of one optimize step (loss + backward + update) per model."""
+    from repro.data.sampling import TripletSampler
+    from repro.experiments.runner import build_model
+
+    out: Dict[str, Dict[str, float]] = {}
+    for name in model_names:
+        model = build_model(name, dataset, seed=0)
+        model.prepare(dataset, split)
+        sampler = TripletSampler(dataset, split.train,
+                                 rng=np.random.default_rng(0),
+                                 n_negatives=model.config.n_negatives)
+        users, pos, neg = next(sampler.epoch(model.config.batch_size))
+        optimizer = model.make_optimizer()
+
+        def _step():
+            optimizer.zero_grad()
+            loss = model.batch_loss(users, pos, neg)
+            loss.backward()
+            optimizer.step()
+
+        _step()  # warm-up (adjacency caches, lazy allocations)
+        t = _best_time(_step, TRAIN_STEPS)
+        out[name] = {
+            "batch_triplets": int(len(users)),
+            "ms_per_step": 1e3 * t,
+            "steps_per_s": 1.0 / t,
+        }
+    return out
+
+
+def run_perf_suite(write: bool = False) -> Dict[str, object]:
+    """Measure all three hot paths; optionally persist BENCH_perf.json."""
+    from repro.data import load_dataset, temporal_split
+
+    dataset = load_dataset(BENCH_DATASET, scale=BENCH_SCALE)
+    split = temporal_split(dataset)
+    results: Dict[str, object] = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "fast": FAST,
+            "dataset": BENCH_DATASET,
+            "scale": BENCH_SCALE,
+            "n_users": dataset.n_users,
+            "n_items": dataset.n_items,
+            "n_interactions": dataset.n_interactions,
+        },
+        "evaluation": bench_evaluation(dataset, split),
+        "sampling": bench_sampling(dataset, split),
+        "train_step": bench_train_step(dataset, split),
+    }
+    if write:
+        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def _format(results: Dict[str, object]) -> str:
+    ev, sa = results["evaluation"], results["sampling"]
+    lines = [
+        f"perf bench on {results['meta']['dataset']} "
+        f"x{results['meta']['scale']} (fast={results['meta']['fast']})",
+        f"evaluation: {ev['vectorized_users_per_s']:.0f} users/s "
+        f"(reference {ev['reference_users_per_s']:.0f}) — "
+        f"{ev['speedup']:.1f}x, identical="
+        f"{ev['identical_per_user_vectors']}",
+        f"sampling:   {sa['vectorized_triplets_per_s']:.0f} triplets/s "
+        f"(reference {sa['reference_triplets_per_s']:.0f}) — "
+        f"{sa['speedup']:.1f}x",
+    ]
+    for name, row in results["train_step"].items():
+        lines.append(f"train step: {name}: {row['ms_per_step']:.1f} ms "
+                     f"({row['steps_per_s']:.1f} steps/s)")
+    return "\n".join(lines)
+
+
+def test_perf_hot_paths(benchmark, artifact):
+    """Regenerate BENCH_perf.json and hold the vectorization wins.
+
+    The speedup floors are deliberately below the typically measured
+    ratios (evaluation ~10x, sampling ~50x at default scale) so the test
+    guards regressions without flaking on machine noise; fast mode
+    relaxes them further since small data amortizes less overhead.
+    """
+    results = benchmark.pedantic(run_perf_suite,
+                                 kwargs=dict(write=not FAST),
+                                 rounds=1, iterations=1)
+    artifact("perf_hot_paths", _format(results))
+    assert results["evaluation"]["identical_per_user_vectors"]
+    min_eval = 2.0 if FAST else 5.0
+    min_sample = 4.0 if FAST else 10.0
+    assert results["evaluation"]["speedup"] >= min_eval
+    assert results["sampling"]["speedup"] >= min_sample
+
+
+if __name__ == "__main__":
+    out = run_perf_suite(write=True)
+    print(_format(out))
+    print(f"[results written to {RESULT_PATH}]")

@@ -46,12 +46,31 @@ class TripletSampler:
         matrix = dataset.interaction_matrix(train_indices)
         self._indptr = matrix.indptr
         self._indices = matrix.indices
+        # Flat sorted (user, item) keys: rows ascend and columns ascend
+        # within each row, so ``user * n_items + item`` is globally sorted
+        # and one batched searchsorted answers every membership query.
+        row_of_nnz = np.repeat(np.arange(dataset.n_users, dtype=np.int64),
+                               np.diff(self._indptr))
+        self._keys = row_of_nnz * self.n_items + self._indices
 
     def __len__(self) -> int:
         return len(self.users)
 
     def _is_positive(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Vectorized membership test of (user, item) in the train matrix."""
+        if self._keys.size == 0:
+            return np.zeros(len(users), dtype=bool)
+        queries = (np.asarray(users, dtype=np.int64) * self.n_items
+                   + np.asarray(items, dtype=np.int64))
+        pos = np.searchsorted(self._keys, queries)
+        found = pos < self._keys.size
+        return found & (self._keys[np.minimum(pos, self._keys.size - 1)]
+                        == queries)
+
+    def _reference_is_positive(self, users: np.ndarray,
+                               items: np.ndarray) -> np.ndarray:
+        """Pre-vectorization per-triplet loop, kept as the equivalence
+        oracle for the batched ``_is_positive``."""
         out = np.zeros(len(users), dtype=bool)
         for k, (u, i) in enumerate(zip(users, items)):
             lo, hi = self._indptr[u], self._indptr[u + 1]

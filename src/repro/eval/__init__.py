@@ -5,7 +5,8 @@ for each user every non-training item is ranked, so no sampled-candidate
 bias is introduced.
 """
 
-from repro.eval.metrics import ndcg_at_k, recall_at_k
+from repro.eval.metrics import (batch_ranking_metrics, ndcg_at_k,
+                                recall_at_k, topk_indices)
 from repro.eval.evaluator import Evaluator, EvaluationResult
 from repro.eval.significance import wilcoxon_improvement
 from repro.eval.extra_metrics import (
@@ -21,6 +22,8 @@ from repro.eval.extra_metrics import (
 __all__ = [
     "ndcg_at_k",
     "recall_at_k",
+    "topk_indices",
+    "batch_ranking_metrics",
     "Evaluator",
     "EvaluationResult",
     "wilcoxon_improvement",

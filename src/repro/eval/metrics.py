@@ -1,13 +1,26 @@
 """Ranking metrics: Recall@K and NDCG@K.
 
-Both operate on a ranked list of item ids per user and the user's held-out
-ground-truth set.  NDCG uses the standard binary-relevance formulation with
-the ideal DCG computed from ``min(K, |ground truth|)`` hits.
+Two API layers live here:
+
+* scalar reference functions (:func:`recall_at_k`, :func:`ndcg_at_k`,
+  :func:`rank_items`) operating on one user's ranked list — simple,
+  obviously-correct implementations that the vectorized evaluator is
+  equivalence-tested against;
+* batched helpers (:func:`topk_indices`, :func:`batch_ranking_metrics`)
+  operating on a ``(batch, n_items)`` score matrix at once — the hot
+  path used by :class:`repro.eval.Evaluator` for full-ranking
+  evaluation.
+
+NDCG uses the standard binary-relevance formulation with the ideal DCG
+computed from ``min(K, |ground truth|)`` hits.  The batched helpers are
+bit-identical to the scalar ones (same tie-breaking, same float64
+summation order), which matters because the Wilcoxon significance test
+consumes the per-user metric vectors.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Set
+from typing import Dict, Sequence, Set
 
 import numpy as np
 
@@ -45,3 +58,82 @@ def rank_items(scores: np.ndarray, exclude: Set[int]) -> np.ndarray:
     mask = np.isin(order, np.fromiter(exclude, dtype=np.int64),
                    invert=True)
     return order[mask]
+
+
+# ----------------------------------------------------------------------
+# Batched helpers (the evaluation hot path)
+# ----------------------------------------------------------------------
+def topk_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Top-K item ids per row, exactly matching a stable full sort.
+
+    Equivalent to ``np.argsort(-scores, axis=-1, kind="stable")[..., :k]``
+    — descending score with ties broken by ascending item id — but costs
+    ``O(n + m log m)`` per row (``m`` = candidate count, usually ``k``)
+    instead of ``O(n log n)``, via ``np.partition`` for the K-th score
+    threshold plus a stable sort of only the at-or-above-threshold
+    candidates.  Accepts a 1-D score vector or a ``(batch, n)`` matrix.
+    """
+    scores = np.asarray(scores)
+    single = scores.ndim == 1
+    if single:
+        scores = scores[None, :]
+    n_rows, n = scores.shape
+    if k >= n or n_rows == 0:
+        out = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+        return out[0] if single else out
+    # Value of the K-th largest score per row; every item scoring >= it is
+    # a candidate.  Boundary ties make rows have more than K candidates.
+    kth = np.partition(scores, n - k, axis=1)[:, n - k]
+    ge = scores >= kth[:, None]
+    counts = ge.sum(axis=1)
+    width = int(counts.max())
+    rows, cols = np.nonzero(ge)  # cols ascend within each row
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    slot = np.arange(rows.size) - np.repeat(starts, counts)
+    cand = np.full((n_rows, width), n, dtype=np.int64)
+    cand[rows, slot] = cols
+    cand_scores = np.full((n_rows, width), -np.inf)
+    cand_scores[rows, slot] = scores[rows, cols]
+    # Candidates are stored in ascending-id order, so a stable sort on
+    # descending score reproduces the full stable argsort's tie-breaking;
+    # padding sits at -inf behind every row's >= K real candidates.
+    order = np.argsort(-cand_scores, axis=1, kind="stable")[:, :k]
+    out = np.take_along_axis(cand, order, axis=1)
+    return out[0] if single else out
+
+
+def ideal_dcg_table(k: int) -> np.ndarray:
+    """``table[m]`` = ideal DCG for ``m`` hits, ``m`` in ``0..k``.
+
+    Entry ``m`` is computed with the exact expression (and float64
+    summation order) of :func:`ndcg_at_k`, keeping batched NDCG
+    bit-identical to the scalar reference.
+    """
+    table = np.empty(k + 1)
+    table[0] = np.inf  # never used: ground truth is non-empty
+    for m in range(1, k + 1):
+        table[m] = np.sum(1.0 / np.log2(np.arange(2, m + 2)))
+    return table
+
+
+def batch_ranking_metrics(hits: np.ndarray, truth_counts: np.ndarray,
+                          ks: Sequence[int]) -> Dict[str, np.ndarray]:
+    """Recall@K / NDCG@K vectors from a boolean hit matrix.
+
+    ``hits[u, r]`` says whether the item at rank ``r`` (of the top
+    ``max(ks)``) is a ground-truth item for user ``u``; ``truth_counts``
+    holds ``|ground truth|`` per user.  Returns ``{"recall@k": vec,
+    "ndcg@k": vec}`` identical to looping the scalar metrics.
+    """
+    hits = np.asarray(hits, dtype=bool)
+    truth_counts = np.asarray(truth_counts, dtype=np.int64)
+    kmax = max(ks) if len(ks) else 0
+    discounts = 1.0 / np.log2(np.arange(2, kmax + 2))
+    out: Dict[str, np.ndarray] = {}
+    for k in ks:
+        hits_k = hits[:, :k]
+        out[f"recall@{k}"] = hits_k.sum(axis=1) / truth_counts
+        dcg = (hits_k * discounts[:hits_k.shape[1]]).sum(axis=1)
+        idcg = ideal_dcg_table(k)[np.minimum(truth_counts, k)]
+        out[f"ndcg@{k}"] = dcg / idcg
+    return out

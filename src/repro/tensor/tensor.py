@@ -105,12 +105,19 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` (already float64) into ``.grad``.
+
+        ``owned=True`` promises the caller holds the only reference to
+        ``grad``, letting the first accumulation adopt the buffer instead
+        of copying it.  Later accumulations add in place either way —
+        ``.grad`` is always a buffer this tensor owns.
+        """
+        grad = _unbroadcast(grad, self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = grad if owned else grad.copy()
         else:
-            self.grad = self.grad + grad
+            self.grad += grad
 
     # ------------------------------------------------------------------
     # Backward pass
@@ -124,12 +131,15 @@ class Tensor:
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not "
                                "require grad")
+        owned: set[int] = set()
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be specified for non-scalar "
                                    "tensors")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+            owned.add(id(self))  # freshly allocated: safe to mutate
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
 
         # Topological order via iterative DFS (recursion would overflow on
         # deep graphs such as multi-layer GCNs unrolled over epochs).
@@ -155,16 +165,26 @@ class Tensor:
             if node_grad is None:
                 continue
             if node._backward is not None:
-                node._push_parent_grads(node_grad, grads)
+                node._push_parent_grads(node_grad, grads, owned)
             elif node.requires_grad:
-                node._accumulate(node_grad)
+                # Leaf: fold the finished gradient into .grad, adopting the
+                # buffer when this backward pass holds the only reference.
+                node._accumulate(node_grad, owned=id(node) in owned)
 
     def _push_parent_grads(self, grad: np.ndarray,
-                           grads: dict[int, np.ndarray]) -> None:
+                           grads: dict[int, np.ndarray],
+                           owned: set[int]) -> None:
         """Run this node's backward closure, routing grads to parents.
 
         The backward closure receives the output gradient and returns one
-        gradient (or ``None``) per parent, in order.
+        gradient (or ``None``) per parent, in order.  Gradients collect in
+        ``grads`` until the main loop pops the parent — leaves then land in
+        ``.grad``, intermediate nodes propagate further.
+
+        A closure may alias its output gradients (``add`` returns ``(g,
+        g)``), so a parent's first contribution is stored as-is and never
+        mutated; the second allocates a sum the pass owns (tracked in
+        ``owned``) and any further contributions add into it in place.
         """
         parent_grads = self._backward(grad)
         if not isinstance(parent_grads, tuple):
@@ -172,18 +192,17 @@ class Tensor:
         for parent, pgrad in zip(self._parents, parent_grads):
             if pgrad is None:
                 continue
-            pgrad = _unbroadcast(np.asarray(pgrad, dtype=np.float64),
-                                 parent.data.shape)
-            if parent._backward is None and parent.requires_grad:
-                # Leaf: accumulate into .grad immediately; also stash in the
-                # dict so repeated uses within one graph sum correctly.
-                pass
-            if id(parent) in grads:
-                grads[id(parent)] = grads[id(parent)] + pgrad
+            if not isinstance(pgrad, np.ndarray) or pgrad.dtype != np.float64:
+                pgrad = np.asarray(pgrad, dtype=np.float64)
+            pgrad = _unbroadcast(pgrad, parent.data.shape)
+            pid = id(parent)
+            if pid not in grads:
+                grads[pid] = pgrad
+            elif pid in owned:
+                grads[pid] += pgrad
             else:
-                grads[id(parent)] = pgrad
-        # Leaves get their .grad when popped in the main loop; intermediate
-        # nodes just propagate.  Leaf handling happens in backward().
+                grads[pid] = grads[pid] + pgrad
+                owned.add(pid)
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -225,11 +244,15 @@ class Tensor:
     # ------------------------------------------------------------------
     # Arithmetic
     # ------------------------------------------------------------------
+    # Constants (Python scalars, numpy arrays) are differentiated against
+    # nothing, so the non-Tensor branches below skip the Tensor wrapper and
+    # graph edge entirely instead of allocating a throwaway leaf per call.
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
-        data = self.data + other_t.data
-        return Tensor._make(data, (self, other_t),
-                            lambda g: (g, g))
+        if isinstance(other, Tensor):
+            return Tensor._make(self.data + other.data, (self, other),
+                                lambda g: (g, g))
+        return Tensor._make(self.data + _as_array(other), (self,),
+                            lambda g: (g,))
 
     __radd__ = __add__
 
@@ -237,32 +260,39 @@ class Tensor:
         return Tensor._make(-self.data, (self,), lambda g: (-g,))
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
-        data = self.data - other_t.data
-        return Tensor._make(data, (self, other_t),
-                            lambda g: (g, -g))
+        if isinstance(other, Tensor):
+            return Tensor._make(self.data - other.data, (self, other),
+                                lambda g: (g, -g))
+        return Tensor._make(self.data - _as_array(other), (self,),
+                            lambda g: (g,))
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(_as_array(other)) - self
+        return Tensor._make(_as_array(other) - self.data, (self,),
+                            lambda g: (-g,))
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
-        data = self.data * other_t.data
-        a, b = self.data, other_t.data
-        return Tensor._make(data, (self, other_t),
-                            lambda g: (g * b, g * a))
+        if isinstance(other, Tensor):
+            a, b = self.data, other.data
+            return Tensor._make(a * b, (self, other),
+                                lambda g: (g * b, g * a))
+        b = _as_array(other)
+        return Tensor._make(self.data * b, (self,), lambda g: (g * b,))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
-        a, b = self.data, other_t.data
-        data = a / b
-        return Tensor._make(data, (self, other_t),
-                            lambda g: (g / b, -g * a / (b * b)))
+        if isinstance(other, Tensor):
+            a, b = self.data, other.data
+            return Tensor._make(a / b, (self, other),
+                                lambda g: (g / b, -g * a / (b * b)))
+        b = _as_array(other)
+        return Tensor._make(self.data / b, (self,), lambda g: (g / b,))
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(_as_array(other)) / self
+        a = self.data
+        b = _as_array(other)
+        return Tensor._make(b / a, (self,),
+                            lambda g: (-g * b / (a * a),))
 
     def __pow__(self, exponent: Scalar) -> "Tensor":
         exponent = float(exponent)
