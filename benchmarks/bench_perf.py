@@ -9,6 +9,15 @@ that are kept on the classes (``Evaluator._reference_evaluate``,
 machine-readable trajectory to beat; see DESIGN.md § Performance for how
 to read it.
 
+The suite's own wall-clock is attributed with :class:`repro.obs.Tracer`
+spans and written as the ``spans`` breakdown in ``BENCH_perf.json``, so a
+perf regression in a future PR points at a phase, not just a total.  It
+also measures telemetry overhead (``obs_overhead``): per-call cost of the
+disabled no-op hooks and the enabled-vs-disabled ratio on the sampler
+drain.  Set ``REPRO_BENCH_TELEMETRY=1`` to additionally emit the span
+events through the JSONL sink into ``runs/bench-perf-<stamp>/`` for
+``repro obs summarize``.
+
 Run standalone (``PYTHONPATH=src python benchmarks/bench_perf.py``) or
 through pytest (``pytest benchmarks/bench_perf.py``).  Set
 ``REPRO_BENCH_FAST=1`` for the quick-smoke scale used by the tier-1
@@ -152,14 +161,110 @@ def bench_train_step(dataset, split, model_names=("LogiRec++", "LightGCN")
     return out
 
 
+def bench_obs_overhead(dataset, split, batch_size: int = 4096
+                       ) -> Dict[str, float]:
+    """Telemetry cost: disabled per-call hook price + enabled drain ratio.
+
+    The disabled numbers guard the "< 2% overhead when off" budget (the
+    hooks compile down to one global load + None check); the enabled
+    ratio prices what ``--telemetry`` actually costs on the sampling hot
+    path.
+    """
+    from repro import obs
+    from repro.data.sampling import TripletSampler
+
+    calls = 20_000 if FAST else 200_000
+    assert not obs.enabled()
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        obs.count("bench/noop")
+    count_ns = (time.perf_counter() - t0) / calls * 1e9
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        obs.trace("bench/noop")
+    trace_ns = (time.perf_counter() - t0) / calls * 1e9
+
+    def _drain() -> None:
+        sampler = TripletSampler(dataset, split.train,
+                                 rng=np.random.default_rng(0))
+        for _ in sampler.epoch(batch_size):
+            pass
+
+    rounds = max(2, SAMPLER_ROUNDS)
+    t_disabled = _best_time(_drain, rounds)
+    obs.start_run(config={"bench": "obs_overhead"})
+    try:
+        t_enabled = _best_time(_drain, rounds)
+    finally:
+        obs.disable()
+    return {
+        "disabled_count_call_ns": count_ns,
+        "disabled_trace_call_ns": trace_ns,
+        "sampler_drain_disabled_s": t_disabled,
+        "sampler_drain_enabled_s": t_enabled,
+        "enabled_over_disabled": t_enabled / t_disabled,
+    }
+
+
+def _span_breakdown(tracer) -> Dict[str, object]:
+    """Aggregate the suite tracer into {phase: {total_s, pct}}."""
+    roots = [s for s in tracer.finished if s.parent_id is None]
+    total = sum(s.duration_s for s in roots) or 1.0
+    root_ids = {s.span_id for s in roots}
+    phases: Dict[str, float] = {}
+    for span in tracer.finished:
+        if span.parent_id in root_ids:
+            phases[span.name] = phases.get(span.name, 0.0) + span.duration_s
+    return {
+        "total_s": round(total, 6),
+        "phases": {name: {"total_s": round(t, 6),
+                          "pct": round(100.0 * t / total, 2)}
+                   for name, t in phases.items()},
+    }
+
+
+def _emit_bench_run(tracer, results: Dict[str, object]) -> None:
+    """Persist the suite spans through the standard JSONL sink + manifest."""
+    from repro import obs
+    from repro.obs.sink import write_manifest
+
+    run_dir = REPO_ROOT / "runs" / time.strftime("bench-perf-%Y%m%d-%H%M%S")
+    sink = obs.JsonlSink(run_dir / "events.jsonl")
+    for span in tracer.finished:
+        sink.write(span.to_event())
+    sink.close()
+    write_manifest(run_dir / "manifest.json", {
+        "run_id": run_dir.name,
+        "started_at": results["meta"]["timestamp"],
+        "wall_s": results["spans"]["total_s"],
+        "git_sha": obs.git_sha(REPO_ROOT),
+        "config": {"command": "bench_perf", "fast": FAST,
+                   "dataset": BENCH_DATASET, "scale": BENCH_SCALE},
+        "seed": None,
+        "dataset_stats": {k: results["meta"][k] for k in
+                          ("n_users", "n_items", "n_interactions")},
+        "final_metrics": {},
+        "n_events": sink.n_events,
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+    })
+    print(f"[bench telemetry written to {run_dir}]")
+
+
 def run_perf_suite(write: bool = False) -> Dict[str, object]:
     """Measure all three hot paths; optionally persist BENCH_perf.json."""
+    from repro import obs
     from repro.data import load_dataset, temporal_split
 
-    dataset = load_dataset(BENCH_DATASET, scale=BENCH_SCALE)
-    split = temporal_split(dataset)
-    results: Dict[str, object] = {
-        "meta": {
+    # A standalone tracer (no active run): the bench attributes its own
+    # wall-clock without flipping the global telemetry switch, so the
+    # measured hot paths run exactly as they do for library users.
+    tracer = obs.Tracer()
+    results: Dict[str, object] = {}
+    with tracer.span("perf_suite"):
+        with tracer.span("load_dataset"):
+            dataset = load_dataset(BENCH_DATASET, scale=BENCH_SCALE)
+            split = temporal_split(dataset)
+        results["meta"] = {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "fast": FAST,
             "dataset": BENCH_DATASET,
@@ -167,11 +272,18 @@ def run_perf_suite(write: bool = False) -> Dict[str, object]:
             "n_users": dataset.n_users,
             "n_items": dataset.n_items,
             "n_interactions": dataset.n_interactions,
-        },
-        "evaluation": bench_evaluation(dataset, split),
-        "sampling": bench_sampling(dataset, split),
-        "train_step": bench_train_step(dataset, split),
-    }
+        }
+        with tracer.span("evaluation"):
+            results["evaluation"] = bench_evaluation(dataset, split)
+        with tracer.span("sampling"):
+            results["sampling"] = bench_sampling(dataset, split)
+        with tracer.span("train_step"):
+            results["train_step"] = bench_train_step(dataset, split)
+        with tracer.span("obs_overhead"):
+            results["obs_overhead"] = bench_obs_overhead(dataset, split)
+    results["spans"] = _span_breakdown(tracer)
+    if os.environ.get("REPRO_BENCH_TELEMETRY", "") not in ("", "0"):
+        _emit_bench_run(tracer, results)
     if write:
         RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
     return results
@@ -193,6 +305,19 @@ def _format(results: Dict[str, object]) -> str:
     for name, row in results["train_step"].items():
         lines.append(f"train step: {name}: {row['ms_per_step']:.1f} ms "
                      f"({row['steps_per_s']:.1f} steps/s)")
+    obs_oh = results.get("obs_overhead")
+    if obs_oh:
+        lines.append(
+            f"telemetry:  disabled hooks "
+            f"{obs_oh['disabled_count_call_ns']:.0f} ns/count, "
+            f"{obs_oh['disabled_trace_call_ns']:.0f} ns/trace; "
+            f"sampler enabled/disabled = "
+            f"{obs_oh['enabled_over_disabled']:.3f}x")
+    spans = results.get("spans")
+    if spans:
+        phases = ", ".join(f"{name} {row['pct']:.0f}%"
+                           for name, row in spans["phases"].items())
+        lines.append(f"suite spans: {spans['total_s']:.2f}s ({phases})")
     return "\n".join(lines)
 
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI gate for the repro package:
+#   1. lint  — no bare print() in library code (cli.py is the
+#              presentation layer and is allowlisted);
+#   2. tests — the tier-1 pytest suite;
+#   3. smoke — a tiny --telemetry training run must leave a readable
+#              manifest + event log that `repro obs summarize` renders.
+#
+# Usage: bash scripts/ci.sh            (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== lint: no print() outside the CLI presentation layer =="
+violations=$(grep -rn --include='*.py' '^[^#]*\bprint(' src/repro \
+    | grep -v '^src/repro/cli\.py:' || true)
+if [ -n "$violations" ]; then
+    echo "bare print() in library code (use repro.obs.get_logger):"
+    echo "$violations"
+    exit 1
+fi
+echo "ok"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== telemetry smoke =="
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+python -m repro train BPRMF --dataset cd --epochs 2 \
+    --telemetry --run-dir "$smoke_dir/runs"
+run_dir=$(ls -d "$smoke_dir"/runs/*/ | head -n 1)
+test -s "$run_dir/events.jsonl"
+test -s "$run_dir/manifest.json"
+summary=$(python -m repro obs summarize "$run_dir")
+echo "$summary" | head -n 20
+echo "$summary" | grep -q "span tree:"
+echo "$summary" | grep -q "coverage:"
+echo "ok"
+
+echo "== all gates passed =="

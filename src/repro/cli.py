@@ -7,6 +7,15 @@ train        Train one zoo model on one dataset and report test metrics.
 compare      Run a Table-II style comparison.
 ablation     Run the Table-III ablation variants.
 cases        Print Table-V style case studies.
+obs          Telemetry utilities: summarize / list run directories.
+
+``train`` and ``compare`` accept ``--telemetry`` (record spans, metrics,
+and a run manifest under ``runs/<run_id>/``) and ``--trace`` (telemetry
+plus NaN/inf gradient scanning in the autograd engine).
+
+This module is the presentation layer: its ``print`` calls are the
+command output and are allowlisted by the ``scripts/ci.sh`` lint gate;
+library diagnostics go through ``repro.obs.get_logger`` instead.
 """
 
 from __future__ import annotations
@@ -24,6 +33,41 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_telemetry(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", action="store_true",
+                        help="record spans/metrics/manifest under "
+                             "--run-dir")
+    parser.add_argument("--trace", action="store_true",
+                        help="--telemetry plus NaN/inf gradient checks "
+                             "(slower; for debugging divergence)")
+    parser.add_argument("--run-dir", default="runs",
+                        help="base directory for run artifacts "
+                             "(default: runs/)")
+
+
+def _maybe_start_run(args, command: str, **config):
+    """Start a repro.obs run when --telemetry/--trace was given."""
+    if not (getattr(args, "telemetry", False)
+            or getattr(args, "trace", False)):
+        return None
+    from repro import obs
+    config = {"command": command, "seed": getattr(args, "seed", None),
+              **config}
+    return obs.start_run(run_dir=args.run_dir, config=config,
+                         nan_checks=args.trace)
+
+
+def _finish_run(run, final_metrics=None, dataset_stats=None) -> None:
+    if run is None:
+        return
+    from repro import obs
+    run_dir = run.dir
+    obs.finish_run(final_metrics=final_metrics,
+                   dataset_stats=dataset_stats)
+    print(f"[telemetry] run artifacts in {run_dir} "
+          f"(inspect with: repro obs summarize {run_dir})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LogiRec/LogiRec++ reproduction CLI")
@@ -36,18 +80,28 @@ def build_parser() -> argparse.ArgumentParser:
     train = sub.add_parser("train", help="train one model")
     train.add_argument("model", help="zoo model name, e.g. LogiRec++")
     _add_common(train)
+    _add_telemetry(train)
 
     compare = sub.add_parser("compare", help="Table-II comparison")
     compare.add_argument("--models", nargs="*", default=None)
     compare.add_argument("--datasets", nargs="*", default=["ciao", "cd"])
     compare.add_argument("--epochs", type=int, default=None)
     compare.add_argument("--seeds", nargs="*", type=int, default=[0])
+    _add_telemetry(compare)
 
     ablation = sub.add_parser("ablation", help="Table-III ablations")
     _add_common(ablation)
 
     cases = sub.add_parser("cases", help="Table-V case studies")
     _add_common(cases)
+
+    obs_cmd = sub.add_parser("obs", help="telemetry run utilities")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    summ = obs_sub.add_parser("summarize",
+                              help="span tree + metrics of one run")
+    summ.add_argument("run_dir", help="runs/<run_id> directory")
+    lst = obs_sub.add_parser("list", help="list recorded runs")
+    lst.add_argument("--run-dir", default="runs")
     return parser
 
 
@@ -59,28 +113,48 @@ def cmd_stats(args) -> int:
 
 
 def cmd_train(args) -> int:
+    from repro import obs
     from repro.data import load_dataset, temporal_split
     from repro.eval import Evaluator
     from repro.experiments import build_model
-    dataset = load_dataset(args.dataset)
-    split = temporal_split(dataset)
-    model = build_model(args.model, dataset, seed=args.seed)
-    if args.epochs is not None:
-        model.config.epochs = args.epochs
-    evaluator = Evaluator(dataset, split)
-    model.fit(dataset, split, evaluator=evaluator)
-    result = evaluator.evaluate_test(model)
+    run = _maybe_start_run(args, "train", model=args.model,
+                           dataset=args.dataset, epochs=args.epochs)
+    with obs.trace("run", command="train"):
+        with obs.trace("load_dataset", dataset=args.dataset):
+            dataset = load_dataset(args.dataset)
+            split = temporal_split(dataset)
+        model = build_model(args.model, dataset, seed=args.seed)
+        if args.epochs is not None:
+            model.config.epochs = args.epochs
+        evaluator = Evaluator(dataset, split)
+        model.fit(dataset, split, evaluator=evaluator)
+        result = evaluator.evaluate_test(model)
     print(f"{args.model} on {args.dataset}: {result.summary()}")
+    _finish_run(run, final_metrics=result.means,
+                dataset_stats={"n_users": dataset.n_users,
+                               "n_items": dataset.n_items,
+                               "n_interactions": dataset.n_interactions})
     return 0
 
 
 def cmd_compare(args) -> int:
+    from repro import obs
     from repro.experiments import format_comparison_table, run_comparison
-    results = run_comparison(model_names=args.models,
-                             dataset_names=args.datasets,
-                             seeds=tuple(args.seeds),
-                             epochs_override=args.epochs)
+    run = _maybe_start_run(args, "compare", models=args.models,
+                           datasets=args.datasets, epochs=args.epochs,
+                           seeds=args.seeds)
+    with obs.trace("run", command="compare"):
+        results = run_comparison(model_names=args.models,
+                                 dataset_names=args.datasets,
+                                 seeds=tuple(args.seeds),
+                                 epochs_override=args.epochs)
     print(format_comparison_table(results))
+    final = {f"{ds}/{model}/{metric}": mean_std[0]
+             for ds, per_model in results.items()
+             for model, metrics in per_model.items()
+             if model != "_per_user"
+             for metric, mean_std in metrics.items()}
+    _finish_run(run, final_metrics=final)
     return 0
 
 
@@ -112,18 +186,42 @@ def cmd_cases(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from repro import obs
+    if args.obs_command == "summarize":
+        print(obs.summarize(args.run_dir))
+        return 0
+    lines = obs.list_runs(args.run_dir)
+    if not lines:
+        print(f"no runs under {args.run_dir}/")
+        return 0
+    for line in lines:
+        print(line)
+    return 0
+
+
 COMMANDS = {
     "stats": cmd_stats,
     "train": cmd_train,
     "compare": cmd_compare,
     "ablation": cmd_ablation,
     "cases": cmd_cases,
+    "obs": cmd_obs,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head` that exited early; not an error.
+        import os
+        try:
+            os.close(sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

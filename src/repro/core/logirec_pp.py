@@ -20,10 +20,12 @@ the paper describes, and :meth:`LogiRec.exclusion_margins` exposes it.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import LogiRecConfig
 from repro.core.logirec import LogiRec
 from repro.core.weighting import (
@@ -51,6 +53,7 @@ class LogiRecPP(LogiRec):
         self._refresh_alpha()
 
     def _refresh_alpha(self) -> None:
+        t0 = time.perf_counter()
         if self.config.hyperbolic:
             gr = granularity_weights(self.user_lorentz_points())
         else:
@@ -61,6 +64,15 @@ class LogiRecPP(LogiRec):
             use_consistency=self.config.use_consistency,
             use_granularity=self.config.use_granularity,
             normalize=self.config.normalize_weights)
+        if obs.enabled():
+            # GR tracks how far user embeddings sit from the origin, so
+            # these gauges double as a drift monitor for the hyperbolic
+            # embedding radius (alongside the manifold clamp counters).
+            obs.record_span("refresh_alpha", time.perf_counter() - t0)
+            obs.gauge_set("logirec/alpha_mean", float(self._alpha.mean()))
+            obs.gauge_set("logirec/alpha_max", float(self._alpha.max()))
+            obs.gauge_set("logirec/gr_mean", float(np.mean(gr)))
+            obs.gauge_set("logirec/gr_max", float(np.max(gr)))
 
     def on_epoch_start(self, epoch: int) -> None:
         # GR depends on the moving user embeddings; refresh once per epoch

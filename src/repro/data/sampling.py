@@ -12,6 +12,7 @@ from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.data.dataset import InteractionDataset
 
 
@@ -79,13 +80,32 @@ class TripletSampler:
         return out
 
     def sample_negatives(self, users: np.ndarray) -> np.ndarray:
-        """Draw one non-interacted item per user via rejection sampling."""
+        """Draw one non-interacted item per user via rejection sampling.
+
+        With telemetry active, retry pressure is exported as counters
+        (``sampler/draws``, ``sampler/rejection_rounds``,
+        ``sampler/resampled``, ``sampler/exhausted``) — rising rejection
+        rates are the early signal that a dataset is too dense for
+        uniform negative sampling.
+        """
         neg = self.rng.integers(0, self.n_items, size=len(users))
+        rounds = 0
+        resampled = 0
+        n_bad = 0
         for _ in range(32):  # expected <2 rounds at realistic densities
             bad = self._is_positive(users, neg)
-            if not bad.any():
+            n_bad = int(bad.sum())
+            if n_bad == 0:
                 break
-            neg[bad] = self.rng.integers(0, self.n_items, size=bad.sum())
+            rounds += 1
+            resampled += n_bad
+            neg[bad] = self.rng.integers(0, self.n_items, size=n_bad)
+        if obs.enabled():
+            obs.count("sampler/draws", len(users))
+            obs.count("sampler/rejection_rounds", rounds)
+            obs.count("sampler/resampled", resampled)
+            if n_bad:
+                obs.count("sampler/exhausted", n_bad)
         return neg
 
     def epoch(self, batch_size: int,

@@ -16,11 +16,13 @@ it bit-for-bit.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.data.dataset import InteractionDataset, Split
 from repro.eval.metrics import (batch_ranking_metrics, ndcg_at_k,
                                 rank_items, recall_at_k, topk_indices)
@@ -102,25 +104,48 @@ class Evaluator:
         kmax = max(self.ks)
         n_items = self.dataset.n_items
         chunks: List[Dict[str, np.ndarray]] = []
-        for start in range(0, len(users), batch_size):
-            batch = users[start:start + batch_size]
-            scores = np.array(model.score_users(batch), dtype=np.float64)
-            # Ground-truth membership matrix (duplicates collapse here; the
-            # recall denominator counts unique truth items, train overlap
-            # included, exactly as the reference's set() does).
-            truth = np.zeros((len(batch), n_items), dtype=bool)
-            t_rows = np.repeat(np.arange(len(batch)),
-                               [len(target_items[u]) for u in batch])
-            truth[t_rows, np.concatenate(
-                [target_items[u] for u in batch])] = True
-            truth_counts = truth.sum(axis=1)
-            # Mask train items: out of the ranking, and never a hit.
-            rows, cols = self._train_coords(batch)
-            scores[rows, cols] = -np.inf
-            truth[rows, cols] = False
-            topk = topk_indices(scores, kmax)
-            hits = np.take_along_axis(truth, topk, axis=1)
-            chunks.append(batch_ranking_metrics(hits, truth_counts, self.ks))
+        # Phase accumulators: flushed as one pre-aggregated span per phase
+        # so eval cost decomposes (model scoring vs. masking vs. ranking)
+        # in the telemetry span tree.
+        t_score = t_truth = t_topk = t_metrics = 0.0
+        n_batches = 0
+        with obs.trace("evaluate", n_users=int(len(users)),
+                       ks=list(self.ks), batch_size=int(batch_size)):
+            for start in range(0, len(users), batch_size):
+                batch = users[start:start + batch_size]
+                t0 = time.perf_counter()
+                scores = np.array(model.score_users(batch), dtype=np.float64)
+                t_score += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                # Ground-truth membership matrix (duplicates collapse here;
+                # the recall denominator counts unique truth items, train
+                # overlap included, exactly as the reference's set() does).
+                truth = np.zeros((len(batch), n_items), dtype=bool)
+                t_rows = np.repeat(np.arange(len(batch)),
+                                   [len(target_items[u]) for u in batch])
+                truth[t_rows, np.concatenate(
+                    [target_items[u] for u in batch])] = True
+                truth_counts = truth.sum(axis=1)
+                # Mask train items: out of the ranking, and never a hit.
+                rows, cols = self._train_coords(batch)
+                scores[rows, cols] = -np.inf
+                truth[rows, cols] = False
+                t_truth += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                topk = topk_indices(scores, kmax)
+                hits = np.take_along_axis(truth, topk, axis=1)
+                t_topk += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                chunks.append(
+                    batch_ranking_metrics(hits, truth_counts, self.ks))
+                t_metrics += time.perf_counter() - t0
+                n_batches += 1
+            if obs.enabled():
+                obs.record_span("score_users", t_score, count=n_batches)
+                obs.record_span("truth_mask", t_truth, count=n_batches)
+                obs.record_span("topk", t_topk, count=n_batches)
+                obs.record_span("metrics", t_metrics, count=n_batches)
+                obs.observe("eval/users_per_call", float(len(users)))
         per_user = {name: np.concatenate([c[name] for c in chunks])
                     if chunks else np.zeros(0)
                     for name in [f"{m}@{k}" for k in self.ks

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.manifolds.base import Manifold
 from repro.tensor import (Tensor, arcosh, cat, clamp, clamp_min, cosh, norm,
                           sinh, sqrt)
@@ -136,7 +137,14 @@ class Lorentz(Manifold):
         """
         spatial = x[..., 1:]
         nrm = np.linalg.norm(spatial, axis=-1, keepdims=True)
-        factor = np.where(nrm > _MAX_SPATIAL,
+        clamped = nrm > _MAX_SPATIAL
+        if obs.enabled():
+            n_clamped = int(np.count_nonzero(clamped))
+            if n_clamped:
+                obs.count("manifold/lorentz/dist_clamped", n_clamped)
+            obs.gauge_set("manifold/lorentz/max_spatial_norm",
+                          float(nrm.max()) if nrm.size else 0.0)
+        factor = np.where(clamped,
                           _MAX_SPATIAL / np.maximum(nrm, _MIN_NORM), 1.0)
         spatial = spatial * factor
         time = np.sqrt(1.0 + np.sum(spatial * spatial, axis=-1, keepdims=True))
@@ -166,6 +174,10 @@ class Lorentz(Manifold):
         sq = self.inner_np(tangent, tangent, keepdims=True)
         nrm = np.sqrt(np.maximum(sq, 0.0))
         nrm_c = np.minimum(nrm, _MAX_TANGENT_NORM)
+        if obs.enabled():
+            n_clipped = int(np.count_nonzero(nrm > _MAX_TANGENT_NORM))
+            if n_clipped:
+                obs.count("manifold/lorentz/tangent_clipped", n_clipped)
         safe = np.maximum(nrm, _MIN_NORM)
         out = np.cosh(nrm_c) * x + np.sinh(nrm_c) * tangent / safe
         return self.project(out)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.manifolds.base import Manifold
 from repro.tensor import Tensor, arcosh, clamp_min, norm, tanh
 
@@ -89,10 +90,23 @@ class PoincareBall(Manifold):
     # Optimizer-side geometry (numpy in, numpy out)
     # ------------------------------------------------------------------
     def project(self, x: np.ndarray) -> np.ndarray:
-        """Clip points to the open ball of radius ``1 - _BOUNDARY_EPS``."""
+        """Clip points to the open ball of radius ``1 - _BOUNDARY_EPS``.
+
+        Telemetry counts every clipped point: boundary saturation is the
+        canonical Poincare failure mode (the conformal factor collapses
+        and training freezes), so a rising clamp rate is the health
+        signal to watch.
+        """
         norms = np.linalg.norm(x, axis=-1, keepdims=True)
         max_norm = 1.0 - _BOUNDARY_EPS
-        factor = np.where(norms > max_norm,
+        clamped = norms > max_norm
+        if obs.enabled():
+            n_clamped = int(np.count_nonzero(clamped))
+            if n_clamped:
+                obs.count("manifold/poincare/boundary_clamped", n_clamped)
+            obs.gauge_set("manifold/poincare/max_norm",
+                          float(norms.max()) if norms.size else 0.0)
+        factor = np.where(clamped,
                           max_norm / np.maximum(norms, _MIN_NORM), 1.0)
         return x * factor
 
@@ -109,7 +123,12 @@ class PoincareBall(Manifold):
             1.0 - np.sum(x * x, axis=-1, keepdims=True), _MIN_NORM)
         v_norm = np.linalg.norm(tangent, axis=-1, keepdims=True)
         safe = np.maximum(v_norm, _MIN_NORM)
-        y = np.tanh(np.minimum(lam * v_norm * 0.5, 32.0)) * tangent / safe
+        arg = lam * v_norm * 0.5
+        if obs.enabled():
+            n_clipped = int(np.count_nonzero(arg > 32.0))
+            if n_clipped:
+                obs.count("manifold/poincare/tangent_clipped", n_clipped)
+        y = np.tanh(np.minimum(arg, 32.0)) * tangent / safe
         return self.project(self._mobius_add_np(x, y))
 
     @staticmethod

@@ -16,17 +16,21 @@ weights).
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.data.dataset import InteractionDataset, Split
 from repro.data.sampling import TripletSampler
 from repro.eval.metrics import topk_indices
 from repro.optim.parameter import Parameter
 from repro.tensor import Tensor, no_grad
+
+LOG = obs.get_logger(__name__)
 
 
 @dataclass
@@ -99,40 +103,126 @@ class Recommender(abc.ABC):
         parameter snapshot is restored at the end (the paper tunes every
         model on the validation split; best-epoch selection is part of
         that protocol and applied uniformly to all models).
+
+        When a :mod:`repro.obs` run is active the loop emits a span tree
+        (``fit > epoch > {epoch_setup, sample, forward, backward, step,
+        validate}``) plus per-epoch loss statistics, gradient norms, and
+        parameter norms; with no run active the only residual cost is the
+        ``perf_counter`` phase accumulators.
         """
-        self.prepare(dataset, split)
-        sampler = TripletSampler(dataset, split.train, rng=self.rng,
-                                 n_negatives=self.config.n_negatives)
-        optimizer = self.make_optimizer()
-        best_score = -np.inf
-        best_state: Optional[List[np.ndarray]] = None
-        for epoch in range(self.config.epochs):
-            self.on_epoch_start(epoch)
-            epoch_loss = 0.0
-            n_batches = 0
-            for users, pos, neg in sampler.epoch(self.config.batch_size):
-                optimizer.zero_grad()
-                loss = self.batch_loss(users, pos, neg)
-                loss.backward()
-                optimizer.step()
-                epoch_loss += loss.item()
-                n_batches += 1
-            mean_loss = epoch_loss / max(n_batches, 1)
-            self.loss_history.append(mean_loss)
-            if self.config.verbose:
-                print(f"[{type(self).__name__}] epoch {epoch + 1}/"
-                      f"{self.config.epochs} loss={mean_loss:.4f}")
-            last_epoch = epoch == self.config.epochs - 1
-            if evaluator is not None and (
-                    (epoch + 1) % eval_every == 0 or last_epoch):
-                score = evaluator.evaluate_valid(self).means[eval_metric]
-                if score > best_score:
-                    best_score = score
-                    best_state = [p.data.copy() for p in self.parameters()]
-        if best_state is not None:
-            for p, data in zip(self.parameters(), best_state):
-                p.data[...] = data
+        with obs.trace("fit", model=type(self).__name__,
+                       epochs=self.config.epochs,
+                       batch_size=self.config.batch_size):
+            with obs.trace("prepare"):
+                self.prepare(dataset, split)
+            sampler = TripletSampler(dataset, split.train, rng=self.rng,
+                                     n_negatives=self.config.n_negatives)
+            optimizer = self.make_optimizer()
+            best_score = -np.inf
+            best_state: Optional[List[np.ndarray]] = None
+            limiter = obs.RateLimiter(min_interval_s=0.5)
+            for epoch in range(self.config.epochs):
+                last_epoch = epoch == self.config.epochs - 1
+                with obs.trace("epoch", epoch=epoch) as epoch_span:
+                    mean_loss = self._fit_epoch(epoch, sampler, optimizer,
+                                                epoch_span)
+                    if self.config.verbose and limiter.ready(
+                            force=epoch == 0 or last_epoch):
+                        LOG.info("%s epoch %d/%d loss=%.4f",
+                                 type(self).__name__, epoch + 1,
+                                 self.config.epochs, mean_loss)
+                    if evaluator is not None and (
+                            (epoch + 1) % eval_every == 0 or last_epoch):
+                        with obs.trace("validate", epoch=epoch):
+                            score = evaluator.evaluate_valid(
+                                self).means[eval_metric]
+                        if score > best_score:
+                            best_score = score
+                            best_state = [p.data.copy()
+                                          for p in self.parameters()]
+            if best_state is not None:
+                for p, data in zip(self.parameters(), best_state):
+                    p.data[...] = data
         return self
+
+    def _fit_epoch(self, epoch: int, sampler: TripletSampler,
+                   optimizer, epoch_span) -> float:
+        """One epoch over the sampler; returns the epoch-mean loss.
+
+        Phase wall-clock (sampling / forward / backward / optimizer step)
+        is accumulated across batches and flushed as one pre-aggregated
+        span per phase, so telemetry volume stays at a handful of events
+        per epoch regardless of batch count.
+        """
+        telemetry = obs.enabled()
+        t0 = time.perf_counter()
+        self.on_epoch_start(epoch)
+        t_setup = time.perf_counter() - t0
+        batch_losses: List[float] = []
+        t_sample = t_forward = t_backward = t_step = 0.0
+        grad_norm_sum = 0.0
+        batches = sampler.epoch(self.config.batch_size)
+        while True:
+            t0 = time.perf_counter()
+            batch = next(batches, None)
+            t_sample += time.perf_counter() - t0
+            if batch is None:
+                break
+            users, pos, neg = batch
+            optimizer.zero_grad()
+            t0 = time.perf_counter()
+            loss = self.batch_loss(users, pos, neg)
+            t_forward += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            loss.backward()
+            t_backward += time.perf_counter() - t0
+            if telemetry:
+                grad_norm = self._global_norm(
+                    p.grad for p in self.parameters())
+                grad_norm_sum += grad_norm
+                obs.observe("train/grad_norm_batch", grad_norm)
+            t0 = time.perf_counter()
+            optimizer.step()
+            t_step += time.perf_counter() - t0
+            batch_losses.append(loss.item())
+        n_batches = len(batch_losses)
+        # Epoch-mean loss (not the last batch's): the curve consumers —
+        # loss_history, the verbose log line, and the telemetry stats —
+        # all see the same per-epoch aggregate.
+        mean_loss = sum(batch_losses) / max(n_batches, 1)
+        self.loss_history.append(mean_loss)
+        if telemetry:
+            obs.record_span("epoch_setup", t_setup)
+            obs.record_span("sample", t_sample, count=n_batches)
+            obs.record_span("forward", t_forward, count=n_batches)
+            obs.record_span("backward", t_backward, count=n_batches)
+            obs.record_span("step", t_step, count=n_batches)
+            for value in batch_losses:
+                obs.observe("train/loss_batch", value)
+            obs.observe("train/loss_epoch", mean_loss)
+            if not np.isfinite(mean_loss):
+                obs.count("train/nonfinite_loss_epochs")
+            grad_norm = grad_norm_sum / max(n_batches, 1)
+            param_norm = self._global_norm(
+                p.data for p in self.parameters())
+            obs.gauge_set("train/grad_norm_epoch", grad_norm)
+            obs.gauge_set("train/param_norm", param_norm)
+            epoch_span.annotate(
+                n_batches=n_batches, loss_mean=round(mean_loss, 6),
+                loss_min=round(min(batch_losses), 6) if batch_losses else None,
+                loss_max=round(max(batch_losses), 6) if batch_losses else None,
+                grad_norm=round(grad_norm, 6),
+                param_norm=round(param_norm, 6))
+        return mean_loss
+
+    @staticmethod
+    def _global_norm(arrays) -> float:
+        """L2 norm over a collection of arrays (``None`` entries skipped)."""
+        total = 0.0
+        for a in arrays:
+            if a is not None:
+                total += float(np.sum(a * a))
+        return float(np.sqrt(total))
 
     # ------------------------------------------------------------------
     # Shared helpers

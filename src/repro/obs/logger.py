@@ -1,0 +1,53 @@
+"""Structured logging: one stderr handler for the whole ``repro`` tree.
+
+:func:`get_logger` replaces the ad-hoc ``print`` diagnostics that used to
+live in the training loop.  Configuration happens once, on the ``repro``
+root logger, with a single :class:`logging.StreamHandler` on stderr —
+re-calling never stacks handlers, and library consumers can silence or
+re-route everything via the standard ``logging`` API.
+
+:class:`RateLimiter` throttles per-epoch progress lines so a 300-epoch
+verbose run emits a readable trickle instead of 300 lines; callers force
+the first/last epoch through so boundaries are always visible.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname).1s %(name)s | %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def get_logger(name: str = _ROOT_NAME) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy with the shared stderr handler."""
+    root = logging.getLogger(_ROOT_NAME)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        root.addHandler(handler)
+        root.setLevel(logging.INFO)
+        root.propagate = False
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+class RateLimiter:
+    """Allow at most one event per ``min_interval_s`` of wall clock."""
+
+    __slots__ = ("min_interval_s", "_last")
+
+    def __init__(self, min_interval_s: float = 1.0):
+        self.min_interval_s = float(min_interval_s)
+        self._last = -float("inf")
+
+    def ready(self, force: bool = False) -> bool:
+        now = time.monotonic()
+        if force or now - self._last >= self.min_interval_s:
+            self._last = now
+            return True
+        return False

@@ -1,0 +1,171 @@
+"""Metrics primitives: counters, gauges, and reservoir histograms.
+
+The registry is deliberately zero-dependency (stdlib only) so every layer
+of the library — including :mod:`repro.tensor`, which must not import
+anything heavy — can record into it.  All types are plain accumulators;
+aggregation and rendering happen at snapshot time.
+
+Naming convention: slash-separated paths, ``"sampler/rejection_rounds"``,
+``"manifold/lorentz/dist_clamped"``.  The registry is flat; the paths are
+only a convention that keeps snapshots greppable and lets the summarizer
+group related series.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count (events, clamps, retries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def summary(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins instantaneous value (norms, weights, sizes)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def summary(self) -> Optional[float]:
+        return self.value
+
+
+class Histogram:
+    """Streaming distribution with exact moments + reservoir percentiles.
+
+    Count/total/min/max are exact over every observation; percentiles come
+    from a fixed-size uniform reservoir (Vitter's algorithm R), so memory
+    stays bounded no matter how many batches a 300-epoch run observes.
+    The reservoir RNG is seeded from the metric name: two runs observing
+    the same sequence report identical percentiles.
+    """
+
+    __slots__ = ("name", "reservoir_size", "count", "total", "min", "max",
+                 "_samples", "_rng")
+
+    def __init__(self, name: str, reservoir_size: int = 1024):
+        self.name = name
+        self.reservoir_size = int(reservoir_size)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode()))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._samples) < self.reservoir_size:
+            self._samples.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.reservoir_size:
+                self._samples[j] = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile ``q`` in [0, 100] of the reservoir."""
+        if not self._samples:
+            return math.nan
+        ordered = sorted(self._samples)
+        pos = (q / 100.0) * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store for the three metric types.
+
+    A name is bound to one type for the registry's lifetime; asking for it
+    as another type raises — silent type confusion would corrupt the
+    snapshot schema run-manifest consumers rely on.
+    """
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, reservoir_size: int = 1024) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            return self._get(name, Histogram, reservoir_size=reservoir_size)
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serializable view: ``{kind: {name: summary}}``, sorted."""
+        out: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.summary()
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.summary()
+            else:
+                out["histograms"][name] = metric.summary()
+        return out

@@ -1,0 +1,153 @@
+"""Run lifecycle and the process-global telemetry switch.
+
+One :class:`Run` is active at a time (module global ``_RUN``).  While a
+run is active, the fast helpers in :mod:`repro.obs` route counters,
+gauges, histograms, spans, and events to the run's registry/tracer/sink;
+while no run is active they are single-branch no-ops, which is what keeps
+the instrumented hot paths within the < 2% disabled-overhead budget.
+
+A run may be *persistent* (``run_dir`` given: events stream to
+``<run_dir>/events.jsonl`` and :meth:`Run.finish` writes
+``manifest.json``) or *in-memory* (``run_dir=None``: events collect on
+``run.events`` — used by the perf bench and tests).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sink import (JsonlSink, MemorySink, git_sha, write_manifest)
+from repro.obs.tracing import Tracer
+
+_RUN: Optional["Run"] = None
+_NAN_CHECKS = False
+
+
+def _make_run_id() -> str:
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return f"{stamp}-{os.urandom(3).hex()}"
+
+
+class Run:
+    """Registry + tracer + sink for one experiment."""
+
+    def __init__(self, run_dir: Optional[os.PathLike] = None,
+                 run_id: Optional[str] = None,
+                 config: Optional[Dict[str, object]] = None,
+                 keep_spans: bool = True):
+        self.run_id = run_id or _make_run_id()
+        self.config = dict(config or {})
+        self.registry = MetricsRegistry()
+        self.dir: Optional[pathlib.Path] = None
+        if run_dir is not None:
+            self.dir = pathlib.Path(run_dir) / self.run_id
+            self.dir.mkdir(parents=True, exist_ok=True)
+            self._sink = JsonlSink(self.dir / "events.jsonl")
+        else:
+            self._sink = MemorySink()
+        self.tracer = Tracer(
+            on_finish=lambda span: self._sink.write(span.to_event()),
+            keep=keep_spans)
+        self.started_at = time.strftime("%Y-%m-%dT%H:%M:%S")
+        self._t0 = time.perf_counter()
+        self.finished = False
+        self.manifest: Optional[Dict[str, object]] = None
+        self.event("run_start", run_id=self.run_id, config=self.config)
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self):
+        """In-memory event list (MemorySink runs only)."""
+        return getattr(self._sink, "events", None)
+
+    def event(self, name: str, **fields) -> None:
+        """Write one free-form event to the sink."""
+        event: Dict[str, object] = {
+            "type": "event", "name": name,
+            "t0": round(time.perf_counter() - self._t0, 6)}
+        event.update(fields)
+        self._sink.write(event)
+
+    def wall_seconds(self) -> float:
+        return time.perf_counter() - self._t0
+
+    # ------------------------------------------------------------------
+    def finish(self, final_metrics: Optional[Dict[str, object]] = None,
+               dataset_stats: Optional[Dict[str, object]] = None,
+               extra: Optional[Dict[str, object]] = None
+               ) -> Dict[str, object]:
+        """Close the sink and write (and return) the manifest."""
+        if self.finished:
+            return self.manifest or {}
+        self.finished = True
+        wall = self.wall_seconds()
+        self.event("run_end", wall_s=round(wall, 6))
+        manifest: Dict[str, object] = {
+            "run_id": self.run_id,
+            "started_at": self.started_at,
+            "wall_s": round(wall, 6),
+            "git_sha": git_sha(),
+            "config": self.config,
+            "seed": self.config.get("seed"),
+            "dataset_stats": dict(dataset_stats or {}),
+            "final_metrics": dict(final_metrics or {}),
+            "n_events": self._sink.n_events,
+            "metrics": self.registry.snapshot(),
+        }
+        if extra:
+            manifest.update(extra)
+        self.manifest = manifest
+        if self.dir is not None:
+            write_manifest(self.dir / "manifest.json", manifest)
+        self._sink.close()
+        return manifest
+
+
+# ----------------------------------------------------------------------
+# Module-global switch
+# ----------------------------------------------------------------------
+def start_run(run_dir: Optional[os.PathLike] = None,
+              run_id: Optional[str] = None,
+              config: Optional[Dict[str, object]] = None,
+              nan_checks: bool = False,
+              keep_spans: bool = True) -> Run:
+    """Activate telemetry globally and return the new current run.
+
+    Any previously active run is finished first (one run at a time keeps
+    the hot-path check a single global load).
+    """
+    global _RUN, _NAN_CHECKS
+    if _RUN is not None:
+        _RUN.finish()
+    _RUN = Run(run_dir=run_dir, run_id=run_id, config=config,
+               keep_spans=keep_spans)
+    _NAN_CHECKS = bool(nan_checks)
+    return _RUN
+
+
+def finish_run(**kwargs) -> Optional[Dict[str, object]]:
+    """Finish the current run (writing its manifest) and disable telemetry."""
+    global _RUN, _NAN_CHECKS
+    if _RUN is None:
+        return None
+    manifest = _RUN.finish(**kwargs)
+    _RUN = None
+    _NAN_CHECKS = False
+    return manifest
+
+
+def disable() -> None:
+    """Turn telemetry off without writing a manifest (test teardown)."""
+    global _RUN, _NAN_CHECKS
+    if _RUN is not None and not _RUN.finished:
+        _RUN._sink.close()
+    _RUN = None
+    _NAN_CHECKS = False
+
+
+def current_run() -> Optional[Run]:
+    return _RUN

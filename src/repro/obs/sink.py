@@ -1,0 +1,112 @@
+"""Event sinks and the run manifest.
+
+A run directory holds two files:
+
+* ``events.jsonl`` — one JSON object per line, appended as the run
+  progresses (spans as they close, explicit events as they fire).  The
+  stream is flushed per event so a crashed run still leaves a readable
+  prefix — the whole point of flight-recorder telemetry.
+* ``manifest.json`` — written once at :meth:`~repro.obs.run.Run.finish`:
+  config, seed, git SHA, dataset statistics, final metrics, and the full
+  metrics-registry snapshot.  Manifests are the diffable unit: two runs
+  are comparable by ``diff <(jq -S . a/manifest.json) <(jq -S . b/...)``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+from typing import Dict, List, Optional
+
+
+def _json_default(value):
+    """Serialize numpy scalars/arrays and paths without importing numpy."""
+    if hasattr(value, "item") and getattr(value, "size", 1) == 1:
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, pathlib.Path):
+        return str(value)
+    return repr(value)
+
+
+def dumps(event: Dict[str, object]) -> str:
+    return json.dumps(event, default=_json_default, sort_keys=False)
+
+
+class JsonlSink:
+    """Append-only JSONL event stream."""
+
+    def __init__(self, path: pathlib.Path):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.n_events = 0
+
+    def write(self, event: Dict[str, object]) -> None:
+        self._fh.write(dumps(event) + "\n")
+        self._fh.flush()
+        self.n_events += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+class MemorySink:
+    """In-process event list for runs without a directory (benches, tests)."""
+
+    def __init__(self):
+        self.events: List[Dict[str, object]] = []
+        self.n_events = 0
+
+    def write(self, event: Dict[str, object]) -> None:
+        self.events.append(event)
+        self.n_events += 1
+
+    def close(self) -> None:
+        pass
+
+
+def git_sha(repo_dir: Optional[pathlib.Path] = None) -> Optional[str]:
+    """Current commit SHA (with ``-dirty`` suffix), or None outside git."""
+    cwd = str(repo_dir) if repo_dir is not None else None
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=5, check=True).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=5, check=True).stdout.strip()
+        return sha + ("-dirty" if dirty else "")
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def write_manifest(path: pathlib.Path, manifest: Dict[str, object]) -> None:
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, default=_json_default)
+                    + "\n", encoding="utf-8")
+
+
+def read_events(run_dir: pathlib.Path) -> List[Dict[str, object]]:
+    """Parse ``events.jsonl`` from a run directory (missing file -> [])."""
+    path = pathlib.Path(run_dir) / "events.jsonl"
+    if not path.exists():
+        return []
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def read_manifest(run_dir: pathlib.Path) -> Optional[Dict[str, object]]:
+    path = pathlib.Path(run_dir) / "manifest.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,157 @@
+"""Span tracer: nested wall-clock attribution with per-span metadata.
+
+Two ways to produce a span:
+
+* ``with tracer.span("epoch", epoch=3) as sp:`` — a live context manager
+  timed with :func:`time.perf_counter`; nesting follows the runtime call
+  stack (the innermost open span is the parent of the next one).
+* ``tracer.record("backward", duration_s, count=n_batches)`` — a
+  pre-aggregated span for hot loops where opening a context manager per
+  batch would cost more than the work being measured.  It is parented to
+  the currently open span, so per-phase accumulators flushed once per
+  epoch still land in the right place in the tree.
+
+Finished spans flow to an ``on_finish`` callback (the run's JSONL sink)
+and are also kept on ``tracer.finished`` for in-memory consumers such as
+the perf bench.  When telemetry is disabled, callers get
+:data:`NULL_SPAN` from :func:`repro.obs.trace` and never touch a tracer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+
+class Span:
+    """One finished (or open) region of wall-clock time."""
+
+    __slots__ = ("name", "span_id", "parent_id", "t_start", "duration_s",
+                 "count", "meta")
+
+    def __init__(self, name: str, span_id: int, parent_id: Optional[int],
+                 t_start: float, duration_s: float = 0.0, count: int = 1,
+                 meta: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t_start = t_start          # seconds since tracer epoch
+        self.duration_s = duration_s
+        self.count = count              # >1 for pre-aggregated spans
+        self.meta = meta or {}
+
+    def annotate(self, **meta) -> "Span":
+        """Attach metadata after entry (e.g. the epoch's final loss)."""
+        self.meta.update(meta)
+        return self
+
+    def to_event(self) -> Dict[str, object]:
+        event: Dict[str, object] = {
+            "type": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "t0": round(self.t_start, 6),
+            "dur": round(self.duration_s, 6),
+        }
+        if self.count != 1:
+            event["count"] = self.count
+        if self.meta:
+            event["meta"] = self.meta
+        return event
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out when telemetry is disabled.
+
+    Supports the same surface (context manager + :meth:`annotate`) so
+    instrumented code needs no ``if enabled`` branches around ``with``
+    blocks.  A single module-level instance keeps the disabled path
+    allocation-free.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def annotate(self, **meta) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager binding one live span to a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span", "_t0")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        self._t0 = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._span.duration_s = time.perf_counter() - self._t0
+        stack = self._tracer._stack
+        # The span may not be on top if a nested span leaked (exception
+        # paths); remove by identity to keep the stack consistent.
+        if stack and stack[-1] is self._span:
+            stack.pop()
+        else:  # pragma: no cover - defensive
+            self._tracer._stack = [s for s in stack if s is not self._span]
+        self._tracer._finish(self._span)
+        return False
+
+
+class Tracer:
+    """Builds the span tree; owns ids, the open-span stack, and timing."""
+
+    def __init__(self, on_finish: Optional[Callable[[Span], None]] = None,
+                 keep: bool = True):
+        self._epoch = time.perf_counter()
+        self._next_id = 0
+        self._stack: List[Span] = []
+        self._on_finish = on_finish
+        self.keep = keep
+        self.finished: List[Span] = []
+
+    # ------------------------------------------------------------------
+    def _new_span(self, name: str, meta: Dict[str, object]) -> Span:
+        self._next_id += 1
+        parent = self._stack[-1].span_id if self._stack else None
+        return Span(name, self._next_id, parent,
+                    t_start=time.perf_counter() - self._epoch, meta=meta)
+
+    def _finish(self, span: Span) -> None:
+        if self.keep:
+            self.finished.append(span)
+        if self._on_finish is not None:
+            self._on_finish(span)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **meta) -> _SpanContext:
+        """Open a live span: ``with tracer.span("fit") as sp: ...``."""
+        return _SpanContext(self, self._new_span(name, meta))
+
+    def record(self, name: str, duration_s: float, count: int = 1,
+               **meta) -> Span:
+        """Record a pre-aggregated span under the currently open span."""
+        span = self._new_span(name, meta)
+        span.t_start = max(0.0, span.t_start - duration_s)
+        span.duration_s = float(duration_s)
+        span.count = int(count)
+        self._finish(span)
+        return span
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None

@@ -17,6 +17,8 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
+
 Scalar = Union[int, float, np.floating]
 ArrayLike = Union[Scalar, Sequence, np.ndarray, "Tensor"]
 
@@ -159,11 +161,25 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
+        # NaN/inf gradient detection (debug flag): scanning every buffer
+        # costs a full pass per node, so it only runs when a repro.obs run
+        # with nan_checks is active (CLI --trace).
+        nan_check = obs.nan_checks_enabled()
         grads: dict[int, np.ndarray] = {id(self): grad}
         for node in reversed(order):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
+            if nan_check:
+                finite = np.isfinite(node_grad)
+                if not finite.all():
+                    n_bad = int(finite.size - np.count_nonzero(finite))
+                    obs.count("autograd/nonfinite_grads")
+                    obs.count("autograd/nonfinite_grad_elems", n_bad)
+                    obs.event("autograd.nonfinite_grad",
+                              tensor=node.name or "<unnamed>",
+                              shape=list(node.data.shape), n_bad=n_bad,
+                              is_leaf=node._backward is None)
             if node._backward is not None:
                 node._push_parent_grads(node_grad, grads, owned)
             elif node.requires_grad:
