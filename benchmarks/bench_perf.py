@@ -237,7 +237,7 @@ def _emit_bench_run(tracer, results: Dict[str, object]) -> None:
         "run_id": run_dir.name,
         "started_at": results["meta"]["timestamp"],
         "wall_s": results["spans"]["total_s"],
-        "git_sha": obs.git_sha(REPO_ROOT),
+        "git_sha": obs.git_sha(REPO_ROOT) or "unknown",
         "config": {"command": "bench_perf", "fast": FAST,
                    "dataset": BENCH_DATASET, "scale": BENCH_SCALE},
         "seed": None,

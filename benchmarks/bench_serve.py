@@ -1,0 +1,72 @@
+"""Serving benchmark: request latency and the offline-index payoff.
+
+Wraps :func:`repro.serve.bench.run_serve_benchmark` (see that module for
+what the four request paths measure) and writes ``BENCH_serve.json`` at
+the repository root, next to ``BENCH_perf.json``, so the serving numbers
+get the same machine-readable regression trail.
+
+The recorded floor: index-backed single-request serving must be at least
+**5x** faster than naive per-request scoring on the live model.  The gap
+comes from graph models re-running their full (hyperbolic) propagation
+on every ``recommend`` call while the index replays only the final
+distance arithmetic.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_serve.py``) or
+through pytest (``pytest benchmarks/bench_serve.py``).  Set
+``REPRO_BENCH_FAST=1`` for a smaller request count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from typing import Dict
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_serve.json"
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+N_REQUESTS = 60 if FAST else 200
+MIN_SPEEDUP = 5.0
+
+
+def run_serve_suite(write: bool = False) -> Dict[str, object]:
+    from repro.serve.bench import run_serve_benchmark
+
+    results = run_serve_benchmark(
+        model_name="LogiRec++", dataset_name="ciao", epochs=3,
+        n_requests=N_REQUESTS, batch_size=32, k=10, seed=0)
+    results["meta"] = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "fast": FAST,
+        "min_speedup_floor": MIN_SPEEDUP,
+    }
+    if write:
+        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def test_serve_latency(benchmark, artifact):
+    """Regenerate BENCH_serve.json and hold the index speedup floor."""
+    from repro.serve.bench import format_results
+
+    results = benchmark.pedantic(run_serve_suite,
+                                 kwargs=dict(write=not FAST),
+                                 rounds=1, iterations=1)
+    artifact("serve_latency", format_results(results))
+    assert results["speedup_indexed_vs_naive"] >= MIN_SPEEDUP
+
+
+if __name__ == "__main__":
+    from repro.serve.bench import format_results
+
+    out = run_serve_suite(write=True)
+    print(format_results(out))
+    assert out["speedup_indexed_vs_naive"] >= MIN_SPEEDUP, (
+        f"indexed serving speedup "
+        f"{out['speedup_indexed_vs_naive']:.1f}x is below the "
+        f"{MIN_SPEEDUP}x floor")
+    print(f"[results written to {RESULT_PATH}]")

@@ -4,7 +4,9 @@
 #              presentation layer and is allowlisted);
 #   2. tests — the tier-1 pytest suite;
 #   3. smoke — a tiny --telemetry training run must leave a readable
-#              manifest + event log that `repro obs summarize` renders.
+#              manifest + event log that `repro obs summarize` renders;
+#   4. serve — train --save, export an index, and answer queries:
+#              output must be non-empty and deterministic across runs.
 #
 # Usage: bash scripts/ci.sh            (from the repo root)
 set -euo pipefail
@@ -36,6 +38,19 @@ summary=$(python -m repro obs summarize "$run_dir")
 echo "$summary" | head -n 20
 echo "$summary" | grep -q "span tree:"
 echo "$summary" | grep -q "coverage:"
+echo "ok"
+
+echo "== serving smoke =="
+python -m repro train BPRMF --dataset cd --epochs 2 \
+    --save "$smoke_dir/ck"
+python -m repro serve export "$smoke_dir/ck" --out "$smoke_dir/index"
+python -m repro serve query "$smoke_dir/index" --users 0,1,2,3,4 \
+    > "$smoke_dir/q1.txt"
+python -m repro serve query "$smoke_dir/index" --users 0,1,2,3,4 \
+    --no-cache > "$smoke_dir/q2.txt"
+test "$(wc -l < "$smoke_dir/q1.txt")" -eq 5
+grep -q "user 0: [0-9]" "$smoke_dir/q1.txt"
+cmp "$smoke_dir/q1.txt" "$smoke_dir/q2.txt"
 echo "ok"
 
 echo "== all gates passed =="

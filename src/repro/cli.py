@@ -8,6 +8,8 @@ compare      Run a Table-II style comparison.
 ablation     Run the Table-III ablation variants.
 cases        Print Table-V style case studies.
 obs          Telemetry utilities: summarize / list run directories.
+serve        Offline serving: export an index from a checkpoint, answer
+             top-K queries, micro-benchmark request latency.
 
 ``train`` and ``compare`` accept ``--telemetry`` (record spans, metrics,
 and a run manifest under ``runs/<run_id>/``) and ``--trace`` (telemetry
@@ -79,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train one model")
     train.add_argument("model", help="zoo model name, e.g. LogiRec++")
+    train.add_argument("--save", default=None, metavar="DIR",
+                       help="write a checkpoint of the trained model "
+                            "(loadable by `repro serve export`)")
     _add_common(train)
     _add_telemetry(train)
 
@@ -102,6 +107,33 @@ def build_parser() -> argparse.ArgumentParser:
     summ.add_argument("run_dir", help="runs/<run_id> directory")
     lst = obs_sub.add_parser("list", help="list recorded runs")
     lst.add_argument("--run-dir", default="runs")
+
+    serve = sub.add_parser("serve", help="offline serving utilities")
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+    exp = serve_sub.add_parser(
+        "export", help="build a retrieval index from a checkpoint")
+    exp.add_argument("checkpoint", help="checkpoint directory "
+                                        "(from `repro train --save`)")
+    exp.add_argument("--out", default=None,
+                     help="index output directory "
+                          "(default: <checkpoint>/index)")
+    qry = serve_sub.add_parser("query",
+                               help="top-K requests against a saved index")
+    qry.add_argument("index", help="index directory "
+                                   "(from `repro serve export`)")
+    qry.add_argument("--users", required=True,
+                     help="comma-separated user ids, e.g. 0,7,12")
+    qry.add_argument("--k", type=int, default=10)
+    qry.add_argument("--no-cache", action="store_true",
+                     help="disable the LRU response cache")
+    bch = serve_sub.add_parser("bench",
+                               help="serving latency/QPS micro-benchmark")
+    bch.add_argument("--model", default="LogiRec++")
+    bch.add_argument("--dataset", default="ciao",
+                     choices=["ciao", "cd", "clothing", "book"])
+    bch.add_argument("--epochs", type=int, default=3)
+    bch.add_argument("--requests", type=int, default=100)
+    bch.add_argument("--k", type=int, default=10)
     return parser
 
 
@@ -130,6 +162,11 @@ def cmd_train(args) -> int:
         model.fit(dataset, split, evaluator=evaluator)
         result = evaluator.evaluate_test(model)
     print(f"{args.model} on {args.dataset}: {result.summary()}")
+    if args.save:
+        from repro.serve import save_checkpoint
+        path = save_checkpoint(model, args.save, dataset=dataset)
+        print(f"[checkpoint] saved to {path} "
+              f"(build an index with: repro serve export {path})")
     _finish_run(run, final_metrics=result.means,
                 dataset_stats={"n_users": dataset.n_users,
                                "n_items": dataset.n_items,
@@ -187,16 +224,87 @@ def cmd_cases(args) -> int:
 
 
 def cmd_obs(args) -> int:
+    import pathlib
+
     from repro import obs
     if args.obs_command == "summarize":
-        print(obs.summarize(args.run_dir))
+        run_dir = pathlib.Path(args.run_dir)
+        if not run_dir.is_dir():
+            print(f"error: no run directory at {run_dir}",
+                  file=sys.stderr)
+            return 2
+        if (obs.read_manifest(run_dir) is None
+                and not obs.read_events(run_dir)):
+            print(f"error: {run_dir} contains no run artifacts "
+                  f"(expected manifest.json or events.jsonl)",
+                  file=sys.stderr)
+            return 2
+        print(obs.summarize(run_dir))
         return 0
-    lines = obs.list_runs(args.run_dir)
+    base = pathlib.Path(args.run_dir)
+    if not base.is_dir():
+        print(f"error: no run directory at {base}", file=sys.stderr)
+        return 2
+    lines = obs.list_runs(base)
     if not lines:
-        print(f"no runs under {args.run_dir}/")
-        return 0
+        print(f"error: no runs recorded under {base}/", file=sys.stderr)
+        return 2
     for line in lines:
         print(line)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import (CheckpointError, IndexFormatError,
+                             RecommendService, build_index, load_index)
+    try:
+        if args.serve_command == "export":
+            return _serve_export(args, build_index)
+        if args.serve_command == "query":
+            index = load_index(args.index)
+            service = RecommendService(
+                index, k=args.k,
+                cache_size=0 if args.no_cache else 1024)
+            users = [int(u) for u in args.users.split(",") if u.strip()]
+            for response in service.query_batch(users, k=args.k):
+                items = " ".join(str(i) for i in response["items"])
+                note = " (popularity fallback)" if response["fallback"] \
+                    else ""
+                print(f"user {response['user_id']}: {items}{note}")
+            return 0
+        from repro.serve.bench import format_results, run_serve_benchmark
+        results = run_serve_benchmark(
+            model_name=args.model, dataset_name=args.dataset,
+            epochs=args.epochs, n_requests=args.requests, k=args.k)
+        print(format_results(results))
+        return 0
+    except (CheckpointError, IndexFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _serve_export(args, build_index) -> int:
+    import pathlib
+
+    from repro.data import load_dataset, temporal_split
+    from repro.serve import (CheckpointError, load_checkpoint,
+                             read_checkpoint_meta)
+    meta = read_checkpoint_meta(args.checkpoint)
+    dataset_meta = meta.get("dataset")
+    if not dataset_meta:
+        raise CheckpointError(
+            f"checkpoint {args.checkpoint} records no dataset; re-save "
+            f"it with save_checkpoint(model, path, dataset=...)")
+    dataset = load_dataset(dataset_meta["name"])
+    split = temporal_split(dataset)
+    model = load_checkpoint(args.checkpoint, dataset=dataset, split=split)
+    out = pathlib.Path(args.out) if args.out else (
+        pathlib.Path(args.checkpoint) / "index")
+    index = build_index(model, dataset, split)
+    index.save(out)
+    print(f"[index] {meta['model_class']} on {dataset_meta['name']} "
+          f"(kind={index.kind}) written to {out} "
+          f"(query with: repro serve query {out} --users 0,1,2)")
     return 0
 
 
@@ -207,6 +315,7 @@ COMMANDS = {
     "ablation": cmd_ablation,
     "cases": cmd_cases,
     "obs": cmd_obs,
+    "serve": cmd_serve,
 }
 
 

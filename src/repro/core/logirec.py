@@ -48,6 +48,8 @@ from repro.manifolds import (
     Lorentz,
     PoincareBall,
     enclosing_ball,
+    lorentz_ranking_scores,
+    neg_dist_scores,
     poincare_to_lorentz,
 )
 from repro.models.base import Recommender
@@ -250,13 +252,20 @@ class LogiRec(Recommender):
         u = user_all[np.asarray(user_ids, dtype=np.int64)]
         if self.config.hyperbolic:
             # score = -d_H(u, v); computed via the Lorentz inner product.
-            inner = u[:, 1:] @ item_all[:, 1:].T - np.outer(
-                u[:, 0], item_all[:, 0])
-            return -np.arccosh(np.maximum(-inner, 1.0 + 1e-12))
-        diff_sq = (np.sum(u * u, axis=1, keepdims=True)
-                   - 2.0 * u @ item_all.T
-                   + np.sum(item_all * item_all, axis=1))
-        return -np.sqrt(np.maximum(diff_sq, 0.0))
+            return lorentz_ranking_scores(u, item_all)
+        return neg_dist_scores(u, item_all)
+
+    def export_scoring(self):
+        """Frozen propagated tables for the serving index.
+
+        Exporting once is what makes serving fast: ``score_users`` above
+        re-runs the full hyperbolic GCN per call, while the index replays
+        only the final Lorentz/Euclidean distance arithmetic.
+        """
+        user_all, item_all = self.final_embeddings()
+        kind = "lorentz" if self.config.hyperbolic else "neg_dist"
+        return {"kind": kind, "user": np.array(user_all),
+                "item": np.array(item_all)}
 
     # ------------------------------------------------------------------
     # Relation readout (used by case studies and mining analyses)

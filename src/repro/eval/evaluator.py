@@ -28,6 +28,27 @@ from repro.eval.metrics import (batch_ranking_metrics, ndcg_at_k,
                                 rank_items, recall_at_k, topk_indices)
 
 
+def csr_row_coords(indptr: np.ndarray, indices: np.ndarray,
+                   rows: np.ndarray):
+    """``(local_row, column)`` coordinates of selected CSR rows' entries.
+
+    Given the CSR structure of a user-item matrix and a batch of row ids,
+    returns parallel arrays addressing every stored entry of those rows in
+    a ``(len(rows), n_cols)`` dense batch — the shared primitive behind
+    train-item masking in both the evaluator and the serving engine
+    (``dense[local_row, column] = ...``).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    lo = indptr[rows]
+    counts = indptr[rows + 1] - lo
+    total = int(counts.sum())
+    out_rows = np.repeat(np.arange(len(rows)), counts)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    cols = indices[np.arange(total) - np.repeat(starts, counts)
+                   + np.repeat(lo, counts)]
+    return out_rows, cols
+
+
 @dataclass
 class EvaluationResult:
     """Per-user metric vectors plus means, in percent (as the paper reports).
@@ -88,14 +109,8 @@ class Evaluator:
 
     def _train_coords(self, batch: np.ndarray):
         """(row, item) coordinates of the batch users' training items."""
-        lo = self._train_indptr[batch]
-        counts = self._train_indptr[batch + 1] - lo
-        total = int(counts.sum())
-        rows = np.repeat(np.arange(len(batch)), counts)
-        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        cols = self._train_indices[np.arange(total) - np.repeat(starts, counts)
-                                   + np.repeat(lo, counts)]
-        return rows, cols
+        return csr_row_coords(self._train_indptr, self._train_indices,
+                              batch)
 
     def _evaluate(self, model, target_items: Dict[int, np.ndarray],
                   batch_size: Optional[int] = None) -> EvaluationResult:

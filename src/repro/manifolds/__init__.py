@@ -14,9 +14,10 @@ Both are connected by the diffeomorphisms of Eq. (1)/(2)
 (:mod:`repro.manifolds.maps`).
 """
 
-from repro.manifolds.base import Manifold
-from repro.manifolds.poincare import PoincareBall
-from repro.manifolds.lorentz import Lorentz
+from repro.manifolds.base import (Manifold, neg_dist_scores,
+                                  neg_sq_dist_scores)
+from repro.manifolds.poincare import PoincareBall, poincare_ranking_scores
+from repro.manifolds.lorentz import Lorentz, lorentz_ranking_scores
 from repro.manifolds.maps import lorentz_to_poincare, poincare_to_lorentz
 from repro.manifolds.geodesic import (
     einstein_midpoint,
@@ -45,4 +46,8 @@ __all__ = [
     "lorentz_parallel_transport",
     "frechet_mean",
     "einstein_midpoint",
+    "lorentz_ranking_scores",
+    "poincare_ranking_scores",
+    "neg_dist_scores",
+    "neg_sq_dist_scores",
 ]

@@ -94,3 +94,9 @@ class AGCN(Recommender):
             user_all, item_all = self._propagated()
         u = user_all.data[np.asarray(user_ids, dtype=np.int64)]
         return u @ item_all.data.T
+
+    def export_scoring(self):
+        with no_grad():
+            user_all, item_all = self._propagated()
+        return {"kind": "dot", "user": np.array(user_all.data),
+                "item": np.array(item_all.data)}

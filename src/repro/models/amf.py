@@ -71,3 +71,10 @@ class AMF(Recommender):
             fused = self._fused_items().data
         u = self.user_emb.data[np.asarray(user_ids, dtype=np.int64)]
         return u @ fused.T
+
+    def export_scoring(self):
+        from repro.tensor import no_grad
+        with no_grad():
+            fused = self._fused_items().data
+        return {"kind": "dot", "user": self.user_emb.data.copy(),
+                "item": np.array(fused)}

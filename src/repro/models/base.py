@@ -16,6 +16,7 @@ weights).
 from __future__ import annotations
 
 import abc
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -264,6 +265,74 @@ class Recommender(abc.ABC):
                              where=deg > 0)
         d = sp.diags(inv_sqrt)
         return (d @ adj @ d).tocsr()
+
+    # ------------------------------------------------------------------
+    # State export (checkpointing / serving; see repro.serve)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Ordered ``{key: array}`` snapshot of every learnable parameter.
+
+        Keys are ``"<position>:<name>"`` so they stay unique even when
+        parameter names repeat; order matches :meth:`parameters`, which
+        every model keeps deterministic.
+        """
+        return {f"{i:03d}:{p.name}": p.data.copy()
+                for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Load a :meth:`state_dict` snapshot back into the parameters."""
+        params = self.parameters()
+        if len(arrays) != len(params):
+            raise ValueError(
+                f"state has {len(arrays)} arrays, model "
+                f"{type(self).__name__} expects {len(params)}")
+        for i, p in enumerate(params):
+            key = f"{i:03d}:{p.name}"
+            if key not in arrays:
+                raise ValueError(f"state is missing parameter {key!r}")
+            data = np.asarray(arrays[key])
+            if data.shape != p.data.shape:
+                raise ValueError(
+                    f"parameter {key!r} has shape {data.shape}, "
+                    f"expected {p.data.shape}")
+            p.data[...] = data
+
+    def export_extra_init(self) -> Dict[str, object]:
+        """Scalar constructor kwargs beyond the universal ones.
+
+        Inspects the concrete class's ``__init__`` signature and records
+        every extra keyword whose value survives as a same-named scalar
+        attribute (the repo-wide convention: ``self.l2 = float(l2)``),
+        so checkpoints can rebuild models constructed with non-default
+        hyperparameters.  Parameters without a matching attribute fall
+        back to their constructor default on load.
+        """
+        universal = {"self", "n_users", "n_items", "n_tags", "config"}
+        out: Dict[str, object] = {}
+        for name in inspect.signature(type(self).__init__).parameters:
+            if name in universal or not hasattr(self, name):
+                continue
+            value = getattr(self, name)
+            if isinstance(value, (bool, int, float, str)):
+                out[name] = value
+        return out
+
+    def export_scoring(self) -> Dict[str, object]:
+        """Frozen scoring spec for the offline retrieval index.
+
+        Returns ``{"kind": <score family>, ...arrays}`` consumed by
+        :class:`repro.serve.RetrievalIndex`.  Models whose score is a
+        user-factor / item-factor product override this with a factored
+        kind (one matvec per request); the base fallback precomputes the
+        dense ``(n_users, n_items)`` score matrix — always exact, but
+        only sensible for scorers that cannot be factored (NeuMF's MLP).
+        """
+        users = np.arange(self.n_users, dtype=np.int64)
+        rows = [self.score_users(users[s:s + 256])
+                for s in range(0, self.n_users, 256)]
+        scores = (np.concatenate(rows, axis=0) if rows
+                  else np.zeros((0, self.n_items)))
+        return {"kind": "dense", "scores": np.asarray(scores)}
 
     def recommend(self, user_id: int, k: int = 10,
                   exclude: Optional[Sequence[int]] = None) -> np.ndarray:

@@ -56,3 +56,8 @@ class BPRMF(Recommender):
     def score_users(self, user_ids: np.ndarray) -> np.ndarray:
         u = self.user_emb.data[np.asarray(user_ids, dtype=np.int64)]
         return u @ self.item_emb.data.T + self.item_bias.data.ravel()
+
+    def export_scoring(self):
+        return {"kind": "dot_bias", "user": self.user_emb.data.copy(),
+                "item": self.item_emb.data.copy(),
+                "bias": self.item_bias.data.ravel().copy()}

@@ -12,7 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.manifolds.base import Euclidean, Manifold
+from repro.manifolds.base import Euclidean, Manifold, neg_sq_dist_scores
 from repro.models.base import Recommender, TrainConfig
 from repro.optim import Adam, Parameter
 from repro.tensor import Tensor, clamp_min, gather_rows
@@ -72,7 +72,8 @@ class CML(Recommender):
 
     def score_users(self, user_ids: np.ndarray) -> np.ndarray:
         u = self.user_emb.data[np.asarray(user_ids, dtype=np.int64)]
-        v = self.item_emb.data
-        sq = (np.sum(u * u, axis=1, keepdims=True) - 2.0 * u @ v.T
-              + np.sum(v * v, axis=1))
-        return -sq
+        return neg_sq_dist_scores(u, self.item_emb.data)
+
+    def export_scoring(self):
+        return {"kind": "neg_sq_dist", "user": self.user_emb.data.copy(),
+                "item": self.item_emb.data.copy()}

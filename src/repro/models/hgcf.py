@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.hgcn import hyperbolic_gcn
 from repro.data.dataset import InteractionDataset, Split
-from repro.manifolds import Lorentz
+from repro.manifolds import Lorentz, lorentz_ranking_scores
 from repro.models.base import Recommender, TrainConfig
 from repro.optim import Adam, Parameter, RiemannianSGD
 from repro.tensor import Tensor, cat, clamp_min, gather_rows, no_grad
@@ -94,6 +94,10 @@ class HGCF(Recommender):
         with no_grad():
             user_all, item_all = self._propagated()
         u = user_all.data[np.asarray(user_ids, dtype=np.int64)]
-        v = item_all.data
-        inner = u[:, 1:] @ v[:, 1:].T - np.outer(u[:, 0], v[:, 0])
-        return -np.arccosh(np.maximum(-inner, 1.0 + 1e-12))
+        return lorentz_ranking_scores(u, item_all.data)
+
+    def export_scoring(self):
+        with no_grad():
+            user_all, item_all = self._propagated()
+        return {"kind": "lorentz", "user": np.array(user_all.data),
+                "item": np.array(item_all.data)}

@@ -11,7 +11,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.manifolds import PoincareBall
+from repro.manifolds import PoincareBall, poincare_ranking_scores
 from repro.models.base import Recommender, TrainConfig
 from repro.optim import Adam, Parameter, RiemannianSGD
 from repro.tensor import Tensor, clamp_min, gather_rows, no_grad, norm
@@ -77,10 +77,10 @@ class HyperML(Recommender):
         with no_grad():
             user_table, item_table = self._ball_tables()
         u = user_table.data[np.asarray(user_ids, dtype=np.int64)]
-        v = item_table.data
-        diff_sq = (np.sum(u * u, axis=1, keepdims=True) - 2.0 * u @ v.T
-                   + np.sum(v * v, axis=1))
-        denom = np.outer(1.0 - np.sum(u * u, axis=1),
-                         1.0 - np.sum(v * v, axis=1))
-        arg = 1.0 + 2.0 * diff_sq / np.maximum(denom, 1e-15)
-        return -np.arccosh(np.maximum(arg, 1.0 + 1e-15))
+        return poincare_ranking_scores(u, item_table.data)
+
+    def export_scoring(self):
+        with no_grad():
+            user_table, item_table = self._ball_tables()
+        return {"kind": "poincare", "user": user_table.data.copy(),
+                "item": item_table.data.copy()}

@@ -19,6 +19,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.data.dataset import InteractionDataset, Split
+from repro.manifolds.base import neg_dist_scores
 from repro.models.base import Recommender, TrainConfig
 from repro.optim import Adam, Parameter
 from repro.tensor import Tensor, clamp_min, gather_rows, norm, softplus
@@ -85,7 +86,8 @@ class TransC(Recommender):
 
     def score_users(self, user_ids: np.ndarray) -> np.ndarray:
         u = self.user_emb.data[np.asarray(user_ids, dtype=np.int64)]
-        v = self.item_emb.data
-        sq = (np.sum(u * u, axis=1, keepdims=True) - 2.0 * u @ v.T
-              + np.sum(v * v, axis=1))
-        return -np.sqrt(np.maximum(sq, 0.0))
+        return neg_dist_scores(u, self.item_emb.data)
+
+    def export_scoring(self):
+        return {"kind": "neg_dist", "user": self.user_emb.data.copy(),
+                "item": self.item_emb.data.copy()}

@@ -90,7 +90,7 @@ class Run:
             "run_id": self.run_id,
             "started_at": self.started_at,
             "wall_s": round(wall, 6),
-            "git_sha": git_sha(),
+            "git_sha": git_sha() or "unknown",
             "config": self.config,
             "seed": self.config.get("seed"),
             "dataset_stats": dict(dataset_stats or {}),

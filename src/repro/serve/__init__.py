@@ -1,0 +1,38 @@
+"""Offline serving: checkpoints, retrieval index, and an inference engine.
+
+The subsystem turns a trained in-memory model into deployable artifacts:
+
+* :mod:`repro.serve.checkpoint` — a versioned, zero-dependency
+  ``arrays.npz`` + JSON checkpoint format.  Round-tripping a model gives
+  bit-identical scores and bit-identical *resumed* training.
+* :mod:`repro.serve.index` — an offline index builder that freezes the
+  model's scoring arithmetic (:meth:`Recommender.export_scoring`) into
+  precomputed tables, so per-request scoring is one small matvec instead
+  of a full forward pass.
+* :mod:`repro.serve.engine` — :class:`RecommendService`, a batched online
+  inference engine with an LRU response cache and graceful degradation
+  (popularity fallback) for unknown users.
+* :mod:`repro.serve.bench` — the load harness behind
+  ``benchmarks/bench_serve.py`` and ``repro serve bench``.
+"""
+
+from repro.serve.checkpoint import (CHECKPOINT_VERSION, CheckpointError,
+                                    load_checkpoint, read_checkpoint_meta,
+                                    save_checkpoint)
+from repro.serve.index import (INDEX_VERSION, IndexFormatError,
+                               RetrievalIndex, build_index, load_index)
+from repro.serve.engine import RecommendService
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_checkpoint_meta",
+    "INDEX_VERSION",
+    "IndexFormatError",
+    "RetrievalIndex",
+    "build_index",
+    "load_index",
+    "RecommendService",
+]

@@ -1,0 +1,142 @@
+"""Serving load harness: latency percentiles, QPS, and the index payoff.
+
+:func:`run_serve_benchmark` trains a small model, freezes it into a
+:class:`~repro.serve.RetrievalIndex`, and measures four request paths:
+
+* ``naive`` — ``model.recommend`` per request on the live model (graph
+  models re-run the full propagation every call);
+* ``indexed`` — :class:`~repro.serve.RecommendService` single requests
+  with the cache disabled (the honest cold-path number);
+* ``cached`` — the same requests repeated against a warm LRU cache;
+* ``batched`` — ``query_batch`` throughput at a fixed micro-batch size.
+
+Each path reports p50/p95/p99 request latency (milliseconds) and QPS.
+``benchmarks/bench_serve.py`` and ``repro serve bench`` are thin wrappers
+over this module; the ≥5x indexed-vs-naive speedup is the acceptance
+floor the benchmark records into ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro import obs
+
+
+def _percentiles_ms(times_s: List[float]) -> Dict[str, float]:
+    arr = np.asarray(times_s) * 1e3
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "mean_ms": float(arr.mean()),
+    }
+
+
+def _timed_each(fn, requests) -> Dict[str, float]:
+    """Per-request latencies + aggregate QPS for ``fn(request)``."""
+    times: List[float] = []
+    start_all = time.perf_counter()
+    for request in requests:
+        start = time.perf_counter()
+        fn(request)
+        times.append(time.perf_counter() - start)
+    wall = time.perf_counter() - start_all
+    out = _percentiles_ms(times)
+    out["qps"] = len(times) / wall
+    out["n_requests"] = len(times)
+    return out
+
+
+def run_serve_benchmark(model_name: str = "LogiRec++",
+                        dataset_name: str = "ciao", epochs: int = 3,
+                        n_requests: int = 200, batch_size: int = 32,
+                        k: int = 10, seed: int = 0) -> Dict[str, object]:
+    """Measure the four request paths; returns the results dict.
+
+    ``epochs`` is tiny on purpose: request latency does not depend on
+    model quality, only on the scoring arithmetic being the real one.
+    """
+    from repro.data import load_dataset, temporal_split
+    from repro.experiments.runner import build_model
+    from repro.serve.engine import RecommendService
+    from repro.serve.index import build_index
+
+    with obs.trace("serve_bench", model=model_name, dataset=dataset_name):
+        dataset = load_dataset(dataset_name)
+        split = temporal_split(dataset)
+        model = build_model(model_name, dataset, seed=seed)
+        model.config.epochs = int(epochs)
+        with obs.trace("train"):
+            model.fit(dataset, split)
+        with obs.trace("build_index"):
+            index = build_index(model, dataset, split)
+
+        rng = np.random.default_rng(seed)
+        users = rng.integers(0, dataset.n_users, size=n_requests)
+        train_items = dataset.items_of_user(split.train)
+
+        def _naive(uid: int):
+            return model.recommend(int(uid), k=k,
+                                   exclude=train_items.get(int(uid), ()))
+
+        cold = RecommendService(index, k=k, cache_size=0)
+        warm = RecommendService(index, k=k, cache_size=4 * n_requests)
+
+        with obs.trace("naive"):
+            naive = _timed_each(_naive, users)
+        with obs.trace("indexed"):
+            indexed = _timed_each(lambda u: cold.query(int(u)), users)
+        with obs.trace("cached"):
+            warm.query_batch(users)         # fill the cache
+            cached = _timed_each(lambda u: warm.query(int(u)), users)
+        with obs.trace("batched"):
+            batch_req = RecommendService(index, k=k, cache_size=0)
+            batches = [users[s:s + batch_size]
+                       for s in range(0, len(users), batch_size)]
+            start = time.perf_counter()
+            for batch in batches:
+                batch_req.query_batch(batch)
+            wall = time.perf_counter() - start
+            batched = {"qps": len(users) / wall,
+                       "batch_size": batch_size,
+                       "n_requests": int(len(users))}
+
+    speedup = naive["mean_ms"] / indexed["mean_ms"]
+    return {
+        "model": model_name,
+        "dataset": dataset_name,
+        "n_users": int(dataset.n_users),
+        "n_items": int(dataset.n_items),
+        "k": k,
+        "epochs": int(epochs),
+        "index_kind": index.kind,
+        "naive": naive,
+        "indexed": indexed,
+        "cached": cached,
+        "batched": batched,
+        "speedup_indexed_vs_naive": speedup,
+        "cache_stats": warm.cache_info(),
+    }
+
+
+def format_results(results: Dict[str, object]) -> str:
+    lines = [
+        f"serve bench: {results['model']} on {results['dataset']} "
+        f"({results['n_users']} users x {results['n_items']} items, "
+        f"index kind={results['index_kind']}, k={results['k']})"]
+    for path in ("naive", "indexed", "cached"):
+        row = results[path]
+        lines.append(
+            f"{path:>8}: p50={row['p50_ms']:.3f}ms "
+            f"p95={row['p95_ms']:.3f}ms p99={row['p99_ms']:.3f}ms "
+            f"({row['qps']:.0f} qps)")
+    batched = results["batched"]
+    lines.append(f" batched: {batched['qps']:.0f} qps at "
+                 f"batch_size={batched['batch_size']}")
+    lines.append(f"speedup (indexed vs naive single request): "
+                 f"{results['speedup_indexed_vs_naive']:.1f}x")
+    return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Online inference engine over a :class:`~repro.serve.RetrievalIndex`.
+
+:class:`RecommendService` handles single and batched top-K requests:
+
+* **Micro-batching** — a batch request computes every uncached user's
+  exact score row, masks all seen items in one vectorized CSR pass, and
+  ranks the whole batch with one :func:`~repro.eval.metrics.topk_indices`
+  call.  Masking and top-K are shape-invariant, so batching them keeps
+  results bit-identical to the single-request path (scoring itself stays
+  per-row; see :mod:`repro.serve.index` for why).
+* **LRU response cache** — bounded, keyed ``(user_id, k)``, with hit /
+  miss counters.  ``cache_size=0`` disables it.
+* **Graceful degradation** — a user id outside ``[0, n_users)`` never
+  raises; it gets the global popularity top-K and is counted as a
+  fallback.
+
+Every request path is instrumented through :mod:`repro.obs` (spans,
+counters, and a latency histogram), all no-ops unless a run is active.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.eval.metrics import topk_indices
+from repro.serve.index import RetrievalIndex
+
+
+class RecommendService:
+    """Batched top-K recommendation over a frozen index.
+
+    Parameters
+    ----------
+    index:
+        The offline :class:`RetrievalIndex`.
+    k:
+        Default list length per request.
+    cache_size:
+        Maximum cached responses (LRU eviction); ``0`` disables caching.
+    exclude_seen:
+        Mask each user's training items out of their ranking (the same
+        policy the evaluator applies).
+    """
+
+    def __init__(self, index: RetrievalIndex, k: int = 10,
+                 cache_size: int = 1024, exclude_seen: bool = True):
+        self.index = index
+        self.k = int(k)
+        self.cache_size = int(cache_size)
+        self.exclude_seen = bool(exclude_seen)
+        self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self.stats: Dict[str, int] = {
+            "requests": 0, "cache_hits": 0, "cache_misses": 0,
+            "fallbacks": 0}
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def _cache_get(self, key) -> Optional[np.ndarray]:
+        if self.cache_size <= 0:
+            return None
+        items = self._cache.get(key)
+        if items is not None:
+            self._cache.move_to_end(key)
+        return items
+
+    def _cache_put(self, key, items: np.ndarray) -> None:
+        if self.cache_size <= 0:
+            return
+        self._cache[key] = items
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(self, user_id: int, k: Optional[int] = None) -> Dict[str, object]:
+        """Top-K for one user; see :meth:`query_batch` for the schema."""
+        return self.query_batch([user_id], k=k)[0]
+
+    def query_batch(self, user_ids: Sequence[int],
+                    k: Optional[int] = None) -> List[Dict[str, object]]:
+        """Top-K for each requested user.
+
+        Returns one dict per request, in request order::
+
+            {"user_id": int, "items": [int, ...],
+             "cached": bool, "fallback": bool}
+
+        Known users get exactly what ``model.recommend(u, k,
+        exclude=<train items>)`` returns on the live model; unknown users
+        get the popularity fallback.
+        """
+        k = self.k if k is None else int(k)
+        user_ids = [int(u) for u in user_ids]
+        with obs.trace("serve/query_batch", n_requests=len(user_ids),
+                       k=k):
+            results: List[Optional[Dict[str, object]]] = (
+                [None] * len(user_ids))
+            to_score: List[int] = []      # positions needing fresh scores
+            for pos, uid in enumerate(user_ids):
+                self.stats["requests"] += 1
+                if not 0 <= uid < self.index.n_users:
+                    self.stats["fallbacks"] += 1
+                    results[pos] = {
+                        "user_id": uid,
+                        "items": [int(i) for i in
+                                  self.index.popularity[:k]],
+                        "cached": False, "fallback": True}
+                    continue
+                cached = self._cache_get((uid, k))
+                if cached is not None:
+                    self.stats["cache_hits"] += 1
+                    results[pos] = {"user_id": uid,
+                                    "items": [int(i) for i in cached],
+                                    "cached": True, "fallback": False}
+                else:
+                    self.stats["cache_misses"] += 1
+                    to_score.append(pos)
+            if to_score:
+                batch = np.array([user_ids[pos] for pos in to_score],
+                                 dtype=np.int64)
+                scores = self.index.score_batch(batch, mode="exact")
+                if self.exclude_seen:
+                    rows, cols = self.index.mask_coords(batch)
+                    scores[rows, cols] = -np.inf
+                topk = topk_indices(scores, k)
+                for row, pos in enumerate(to_score):
+                    uid = user_ids[pos]
+                    items = topk[row].astype(np.int64)
+                    self._cache_put((uid, k), items)
+                    results[pos] = {"user_id": uid,
+                                    "items": [int(i) for i in items],
+                                    "cached": False, "fallback": False}
+            if obs.enabled():
+                obs.count("serve/requests", len(user_ids))
+                obs.count("serve/scored_users", len(to_score))
+                obs.observe("serve/batch_size", float(len(user_ids)))
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Current cache occupancy plus the lifetime counters."""
+        return {"size": len(self._cache), "capacity": self.cache_size,
+                **self.stats}

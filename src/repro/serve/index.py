@@ -1,0 +1,275 @@
+"""Offline retrieval index: frozen scoring tables + request-time masks.
+
+:func:`build_index` freezes a trained model's scoring arithmetic via
+:meth:`Recommender.export_scoring` into a :class:`RetrievalIndex`.  For
+graph models this is the payoff of serving offline: ``score_users`` on
+the live model re-runs the full (hyperbolic) graph convolution per call,
+while the index stores the *propagated* tables once and replays only the
+final distance arithmetic — one small matvec per request.
+
+Exactness contract
+------------------
+``RetrievalIndex.score_user(u)`` is bit-identical to
+``model.score_users(np.array([u]))[0]``.  Two ingredients make that hold
+by construction rather than by luck:
+
+* the per-kind formulas are the *same module-level functions* the live
+  models call (``lorentz_ranking_scores`` & co. in :mod:`repro.manifolds`,
+  ``gdcf_mixed_scores`` in :mod:`repro.models.gdcf`);
+* scoring always slices a ``(1, d)`` row and calls the formula with the
+  exact shapes ``recommend()`` uses.  This matters because batched GEMM
+  is **not** row-wise bit-identical to single-row matmul under BLAS
+  blocking — ``(U @ V.T)[i]`` can differ from ``(U[i:i+1] @ V.T)[0]`` in
+  the last ulp.  The batched :meth:`score_batch` therefore defaults to
+  stacking exact per-row results; its ``gemm`` mode exists only for
+  throughput measurements.
+
+The index also carries everything request handling needs beyond scores:
+the train-interaction CSR structure (per-user seen-item masks) and a
+global popularity ranking (the unknown-user fallback).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset, Split
+from repro.eval.evaluator import csr_row_coords
+
+INDEX_VERSION = 1
+
+ARRAYS_FILE = "index.npz"
+META_FILE = "index.json"
+
+# Array-slot names per score kind; every listed slot must be present.
+_KIND_SLOTS = {
+    "dot": ("user", "item"),
+    "dot_bias": ("user", "item", "bias"),
+    "neg_sq_dist": ("user", "item"),
+    "neg_dist": ("user", "item"),
+    "lorentz": ("user", "item"),
+    "poincare": ("user", "item"),
+    "gdcf_mix": ("user_h", "item_h", "user_e", "item_e"),
+    "dense": ("scores",),
+}
+
+
+class IndexFormatError(Exception):
+    """An index could not be read: missing, corrupted, or wrong version."""
+
+
+class RetrievalIndex:
+    """Precomputed scoring tables plus per-request masks and fallback.
+
+    Parameters
+    ----------
+    kind:
+        Score family from :meth:`Recommender.export_scoring`.
+    arrays:
+        The kind's table slots (see ``_KIND_SLOTS``).
+    scalars:
+        Scalar parameters of the score formula (``gdcf_mix``'s mix
+        weight).
+    train_indptr, train_indices:
+        CSR structure of the training interaction matrix, for per-user
+        seen-item masking.
+    popularity:
+        All item ids ordered most- to least-popular on the training
+        split (ties broken by ascending id) — the unknown-user fallback.
+    meta:
+        Provenance (model class, dataset name, universe sizes).
+    """
+
+    def __init__(self, kind: str, arrays: Dict[str, np.ndarray],
+                 scalars: Dict[str, float], train_indptr: np.ndarray,
+                 train_indices: np.ndarray, popularity: np.ndarray,
+                 meta: Dict[str, object]):
+        if kind not in _KIND_SLOTS:
+            raise IndexFormatError(f"unknown score kind {kind!r}")
+        missing = [s for s in _KIND_SLOTS[kind] if s not in arrays]
+        if missing:
+            raise IndexFormatError(
+                f"score kind {kind!r} is missing array slots {missing}")
+        self.kind = kind
+        self.arrays = {k: np.asarray(v) for k, v in arrays.items()}
+        self.scalars = {k: float(v) for k, v in scalars.items()}
+        self.train_indptr = np.asarray(train_indptr, dtype=np.int64)
+        self.train_indices = np.asarray(train_indices, dtype=np.int64)
+        self.popularity = np.asarray(popularity, dtype=np.int64)
+        self.meta = dict(meta)
+        self.n_users = int(meta["n_users"])
+        self.n_items = int(meta["n_items"])
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _score_rows(self, user_ids: np.ndarray) -> np.ndarray:
+        """Score formula on a user-id slice; shape-faithful to the kind."""
+        from repro.manifolds import (lorentz_ranking_scores,
+                                     neg_dist_scores, neg_sq_dist_scores,
+                                     poincare_ranking_scores)
+        from repro.models.gdcf import gdcf_mixed_scores
+
+        a = self.arrays
+        if self.kind == "dense":
+            return a["scores"][user_ids]
+        if self.kind == "gdcf_mix":
+            return gdcf_mixed_scores(
+                a["user_h"][user_ids], a["item_h"],
+                a["user_e"][user_ids], a["item_e"], self.scalars["mix"])
+        u = a["user"][user_ids]
+        if self.kind == "dot":
+            return u @ a["item"].T
+        if self.kind == "dot_bias":
+            return u @ a["item"].T + a["bias"]
+        if self.kind == "neg_sq_dist":
+            return neg_sq_dist_scores(u, a["item"])
+        if self.kind == "neg_dist":
+            return neg_dist_scores(u, a["item"])
+        if self.kind == "lorentz":
+            return lorentz_ranking_scores(u, a["item"])
+        return poincare_ranking_scores(u, a["item"])
+
+    def score_user(self, user_id: int) -> np.ndarray:
+        """Exact score row — bit-identical to the live model's.
+
+        Always evaluates the formula on a ``(1, d)`` slice, matching the
+        shapes ``Recommender.recommend`` feeds ``score_users``.
+        """
+        uid = int(user_id)
+        return self._score_rows(np.array([uid], dtype=np.int64))[0]
+
+    def score_batch(self, user_ids: np.ndarray,
+                    mode: str = "exact") -> np.ndarray:
+        """Score matrix for a batch of users.
+
+        ``mode="exact"`` (default) stacks per-row exact scores and is
+        what the serving engine uses.  ``mode="gemm"`` evaluates the
+        formula once on the whole batch — faster, but only
+        almost-identical (BLAS batching changes last-ulp rounding), so
+        it is reserved for throughput benchmarking.
+        """
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        if mode == "gemm":
+            return self._score_rows(user_ids)
+        if mode != "exact":
+            raise ValueError(f"unknown scoring mode {mode!r}")
+        out = np.empty((len(user_ids), self.n_items), dtype=np.float64)
+        for row, uid in enumerate(user_ids):
+            out[row] = self._score_rows(
+                np.array([uid], dtype=np.int64))[0]
+        return out
+
+    # ------------------------------------------------------------------
+    # Masks and fallback
+    # ------------------------------------------------------------------
+    def seen_items(self, user_id: int) -> np.ndarray:
+        """Training items of one user (the engine's exclusion set)."""
+        uid = int(user_id)
+        return self.train_indices[
+            self.train_indptr[uid]:self.train_indptr[uid + 1]]
+
+    def mask_coords(self, user_ids: np.ndarray):
+        """(local_row, item) coords of the batch users' seen items."""
+        return csr_row_coords(self.train_indptr, self.train_indices,
+                              user_ids)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        arrays_path = path / ARRAYS_FILE
+        payload = {f"slot:{k}": v for k, v in self.arrays.items()}
+        payload["train_indptr"] = self.train_indptr
+        payload["train_indices"] = self.train_indices
+        payload["popularity"] = self.popularity
+        np.savez(arrays_path, **payload)
+        meta = {
+            "format_version": INDEX_VERSION,
+            "kind": self.kind,
+            "scalars": self.scalars,
+            "meta": self.meta,
+            "arrays_sha256": _sha256_of(arrays_path),
+        }
+        with open(path / META_FILE, "w") as fh:
+            json.dump(meta, fh, indent=2, sort_keys=True)
+        return path
+
+
+def _sha256_of(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def build_index(model, dataset: InteractionDataset,
+                split: Split) -> RetrievalIndex:
+    """Freeze ``model`` + the training split into a servable index."""
+    spec = dict(model.export_scoring())
+    kind = str(spec.pop("kind"))
+    scalars = {k: float(v) for k, v in spec.items()
+               if isinstance(v, (int, float)) and not isinstance(v, bool)}
+    arrays = {k: np.asarray(v) for k, v in spec.items()
+              if not isinstance(v, (int, float, bool))}
+    train_matrix = dataset.interaction_matrix(split.train)
+    counts = np.asarray(train_matrix.sum(axis=0)).ravel()
+    # Stable argsort on -counts: most popular first, ties by ascending id.
+    popularity = np.argsort(-counts, kind="stable").astype(np.int64)
+    meta = {
+        "model_class": type(model).__name__,
+        "dataset": dataset.name,
+        "n_users": int(model.n_users),
+        "n_items": int(model.n_items),
+    }
+    return RetrievalIndex(kind=kind, arrays=arrays, scalars=scalars,
+                          train_indptr=train_matrix.indptr,
+                          train_indices=train_matrix.indices,
+                          popularity=popularity, meta=meta)
+
+
+def load_index(path) -> RetrievalIndex:
+    """Load a saved index; validates version and checksum."""
+    path = Path(path)
+    meta_path = path / META_FILE
+    arrays_path = path / ARRAYS_FILE
+    if not meta_path.is_file():
+        raise IndexFormatError(f"no index at {path} (missing {META_FILE})")
+    try:
+        with open(meta_path) as fh:
+            meta = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexFormatError(
+            f"unreadable index metadata {meta_path}: {exc}") from exc
+    version = meta.get("format_version")
+    if version != INDEX_VERSION:
+        raise IndexFormatError(
+            f"index {path} has format_version {version!r}; this build "
+            f"reads version {INDEX_VERSION}")
+    if not arrays_path.is_file():
+        raise IndexFormatError(f"index {path} is missing {ARRAYS_FILE}")
+    if _sha256_of(arrays_path) != meta.get("arrays_sha256"):
+        raise IndexFormatError(
+            f"index {path} is corrupted: {ARRAYS_FILE} checksum mismatch")
+    with np.load(arrays_path) as npz:
+        payload = {key: npz[key] for key in npz.files}
+    arrays = {key[len("slot:"):]: value for key, value in payload.items()
+              if key.startswith("slot:")}
+    try:
+        return RetrievalIndex(
+            kind=meta["kind"], arrays=arrays,
+            scalars=meta.get("scalars", {}),
+            train_indptr=payload["train_indptr"],
+            train_indices=payload["train_indices"],
+            popularity=payload["popularity"], meta=meta["meta"])
+    except KeyError as exc:
+        raise IndexFormatError(
+            f"index {path} is missing required entry {exc}") from exc
