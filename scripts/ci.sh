@@ -6,7 +6,12 @@
 #   3. smoke — a tiny --telemetry training run must leave a readable
 #              manifest + event log that `repro obs summarize` renders;
 #   4. serve — train --save, export an index, and answer queries:
-#              output must be non-empty and deterministic across runs.
+#              output must be non-empty and deterministic across runs;
+#   5. fault — injected NaN at epoch 2 must roll back and still
+#              complete; a killed run must resume to completion;
+#              injected scoring failures must degrade to fallbacks
+#              with zero unhandled exceptions; a corrupted checkpoint
+#              must be rejected.
 #
 # Usage: bash scripts/ci.sh            (from the repo root)
 set -euo pipefail
@@ -51,6 +56,38 @@ python -m repro serve query "$smoke_dir/index" --users 0,1,2,3,4 \
 test "$(wc -l < "$smoke_dir/q1.txt")" -eq 5
 grep -q "user 0: [0-9]" "$smoke_dir/q1.txt"
 cmp "$smoke_dir/q1.txt" "$smoke_dir/q2.txt"
+echo "ok"
+
+echo "== fault-injection smoke =="
+# NaN gradient at epoch 2: rollback must recover and the run complete.
+python -m repro robust inject train --epochs 4 --nan-epoch 2 \
+    --checkpoint-dir "$smoke_dir/rck" > "$smoke_dir/f1.txt"
+grep -q "completed" "$smoke_dir/f1.txt"
+grep -q "rollbacks: 1" "$smoke_dir/f1.txt"
+
+# Kill after epoch 1 (exit 3 by contract), then --resume to completion.
+rm -rf "$smoke_dir/rck"
+set +e
+python -m repro robust inject train --epochs 4 --kill-epoch 1 \
+    --checkpoint-dir "$smoke_dir/rck" > "$smoke_dir/f2.txt"
+kill_status=$?
+set -e
+test "$kill_status" -eq 3
+grep -q "crashed" "$smoke_dir/f2.txt"
+python -m repro robust inject train --epochs 4 --resume \
+    --checkpoint-dir "$smoke_dir/rck" > "$smoke_dir/f3.txt"
+grep -q "completed" "$smoke_dir/f3.txt"
+grep -q "resumed_from: 2" "$smoke_dir/f3.txt"
+
+# 10% scoring failures: every response still a valid ranked list.
+python -m repro robust inject serve --epochs 1 --requests 50 \
+    --fail-rate 0.1 > "$smoke_dir/f4.txt"
+grep -q "all responses valid" "$smoke_dir/f4.txt"
+
+# Corrupting one checkpoint byte must be detected, not silently loaded.
+python -m repro robust inject checkpoint "$smoke_dir/rck" \
+    > "$smoke_dir/f5.txt"
+grep -q "corruption detected" "$smoke_dir/f5.txt"
 echo "ok"
 
 echo "== all gates passed =="

@@ -10,10 +10,16 @@ cases        Print Table-V style case studies.
 obs          Telemetry utilities: summarize / list run directories.
 serve        Offline serving: export an index from a checkpoint, answer
              top-K queries, micro-benchmark request latency.
+robust       Fault-injection drills: provoke NaN divergence, process
+             kills, scoring failures, and checkpoint corruption, and
+             verify the recovery machinery end to end.
 
 ``train`` and ``compare`` accept ``--telemetry`` (record spans, metrics,
 and a run manifest under ``runs/<run_id>/``) and ``--trace`` (telemetry
-plus NaN/inf gradient scanning in the autograd engine).
+plus NaN/inf gradient scanning in the autograd engine).  ``train`` also
+accepts ``--checkpoint-dir`` (auto-checkpoint every N epochs with
+NaN/divergence rollback) and ``--resume`` (continue a killed run from
+its auto-checkpoint, bit-identically).
 
 This module is the presentation layer: its ``print`` calls are the
 command output and are allowlisted by the ``scripts/ci.sh`` lint gate;
@@ -84,6 +90,22 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--save", default=None, metavar="DIR",
                        help="write a checkpoint of the trained model "
                             "(loadable by `repro serve export`)")
+    train.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="auto-checkpoint during training and roll "
+                            "back to the last good checkpoint on "
+                            "NaN/divergence")
+    train.add_argument("--checkpoint-every", type=int, default=5,
+                       metavar="N", help="epochs between auto-"
+                                         "checkpoints (default: 5)")
+    train.add_argument("--resume", action="store_true",
+                       help="continue an interrupted run from "
+                            "--checkpoint-dir (bit-identical to an "
+                            "uninterrupted run)")
+    train.add_argument("--max-retries", type=int, default=3,
+                       help="divergence rollback budget (default: 3)")
+    train.add_argument("--lr-backoff", type=float, default=0.5,
+                       help="learning-rate multiplier applied on each "
+                            "rollback (default: 0.5)")
     _add_common(train)
     _add_telemetry(train)
 
@@ -134,6 +156,66 @@ def build_parser() -> argparse.ArgumentParser:
     bch.add_argument("--epochs", type=int, default=3)
     bch.add_argument("--requests", type=int, default=100)
     bch.add_argument("--k", type=int, default=10)
+    bch.add_argument("--index", default=None, metavar="DIR",
+                     help="benchmark a saved index (from `repro serve "
+                          "export`) instead of training in-process")
+    bch.add_argument("--fail-rate", type=float, default=0.0,
+                     help="also measure the degraded path under this "
+                          "injected scoring-failure rate")
+
+    robust = sub.add_parser(
+        "robust", help="fault-injection and recovery drills")
+    robust_sub = robust.add_subparsers(dest="robust_command",
+                                       required=True)
+    inject = robust_sub.add_parser(
+        "inject", help="inject faults and exercise recovery")
+    inject_sub = inject.add_subparsers(dest="inject_target",
+                                       required=True)
+
+    itr = inject_sub.add_parser(
+        "train", help="NaN/kill faults against supervised training")
+    itr.add_argument("--model", default="BPRMF")
+    itr.add_argument("--dataset", default="cd",
+                     choices=["ciao", "cd", "clothing", "book"])
+    itr.add_argument("--epochs", type=int, default=4)
+    itr.add_argument("--checkpoint-dir", default="robust_ck",
+                     metavar="DIR")
+    itr.add_argument("--checkpoint-every", type=int, default=1)
+    itr.add_argument("--nan-epoch", type=int, default=None,
+                     help="inject a NaN fault at this epoch")
+    itr.add_argument("--nan-kind", default="nan_grad",
+                     choices=["nan_grad", "nan_param"])
+    itr.add_argument("--kill-epoch", type=int, default=None,
+                     help="simulate a process kill after this epoch's "
+                          "checkpoint (exit code 3)")
+    itr.add_argument("--max-retries", type=int, default=3)
+    itr.add_argument("--lr-backoff", type=float, default=0.5)
+    itr.add_argument("--resume", action="store_true",
+                     help="resume from --checkpoint-dir")
+    itr.add_argument("--seed", type=int, default=0)
+
+    isv = inject_sub.add_parser(
+        "serve", help="failing/slow scoring against the serving engine")
+    isv.add_argument("--model", default="BPRMF")
+    isv.add_argument("--dataset", default="cd",
+                     choices=["ciao", "cd", "clothing", "book"])
+    isv.add_argument("--epochs", type=int, default=2)
+    isv.add_argument("--requests", type=int, default=100)
+    isv.add_argument("--fail-rate", type=float, default=0.1)
+    isv.add_argument("--delay-rate", type=float, default=0.0)
+    isv.add_argument("--delay", type=float, default=0.05,
+                     help="injected delay seconds per slow call")
+    isv.add_argument("--timeout", type=float, default=None,
+                     help="per-request scoring deadline seconds")
+    isv.add_argument("--retries", type=int, default=2)
+    isv.add_argument("--k", type=int, default=10)
+    isv.add_argument("--seed", type=int, default=0)
+
+    ick = inject_sub.add_parser(
+        "checkpoint", help="flip one checkpoint byte; expect rejection")
+    ick.add_argument("path", help="checkpoint directory to corrupt "
+                                  "(modified in place)")
+    ick.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -149,19 +231,53 @@ def cmd_train(args) -> int:
     from repro.data import load_dataset, temporal_split
     from repro.eval import Evaluator
     from repro.experiments import build_model
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
     run = _maybe_start_run(args, "train", model=args.model,
                            dataset=args.dataset, epochs=args.epochs)
     with obs.trace("run", command="train"):
         with obs.trace("load_dataset", dataset=args.dataset):
             dataset = load_dataset(args.dataset)
             split = temporal_split(dataset)
-        model = build_model(args.model, dataset, seed=args.seed)
+        supervisor = None
+        model = None
+        if args.checkpoint_dir:
+            from repro.robust import (ResilienceConfig,
+                                      TrainingSupervisor, has_fit_state)
+            supervisor = TrainingSupervisor(ResilienceConfig(
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                max_retries=args.max_retries,
+                lr_backoff=args.lr_backoff, resume=args.resume))
+            if args.resume and has_fit_state(args.checkpoint_dir):
+                from repro.serve import load_checkpoint
+                model = load_checkpoint(args.checkpoint_dir,
+                                        dataset=dataset, split=split)
+                print(f"[resume] continuing from "
+                      f"{args.checkpoint_dir} at epoch "
+                      f"{len(model.loss_history)}")
+        if model is None:
+            model = build_model(args.model, dataset, seed=args.seed)
         if args.epochs is not None:
             model.config.epochs = args.epochs
         evaluator = Evaluator(dataset, split)
-        model.fit(dataset, split, evaluator=evaluator)
+        try:
+            model.fit(dataset, split, evaluator=evaluator,
+                      supervisor=supervisor)
+        except Exception as exc:
+            from repro.robust import TrainingDivergedError
+            if isinstance(exc, TrainingDivergedError):
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            raise
         result = evaluator.evaluate_test(model)
     print(f"{args.model} on {args.dataset}: {result.summary()}")
+    if supervisor is not None and supervisor.summary()["rollbacks"]:
+        s = supervisor.summary()
+        print(f"[robust] recovered from {s['rollbacks']} divergence "
+              f"event(s); retries left: {s['retries_left']}")
     if args.save:
         from repro.serve import save_checkpoint
         path = save_checkpoint(model, args.save, dataset=dataset)
@@ -256,26 +372,27 @@ def cmd_obs(args) -> int:
 
 def cmd_serve(args) -> int:
     from repro.serve import (CheckpointError, IndexFormatError,
-                             RecommendService, build_index, load_index)
+                             RecommendService, ServiceConfig, build_index,
+                             load_index)
     try:
         if args.serve_command == "export":
             return _serve_export(args, build_index)
         if args.serve_command == "query":
             index = load_index(args.index)
-            service = RecommendService(
-                index, k=args.k,
-                cache_size=0 if args.no_cache else 1024)
+            service = RecommendService(index, ServiceConfig(
+                k=args.k, cache_size=0 if args.no_cache else 1024))
             users = [int(u) for u in args.users.split(",") if u.strip()]
             for response in service.query_batch(users, k=args.k):
                 items = " ".join(str(i) for i in response["items"])
-                note = " (popularity fallback)" if response["fallback"] \
-                    else ""
+                note = f" ({response['source']} fallback)" \
+                    if response["fallback"] else ""
                 print(f"user {response['user_id']}: {items}{note}")
             return 0
         from repro.serve.bench import format_results, run_serve_benchmark
         results = run_serve_benchmark(
             model_name=args.model, dataset_name=args.dataset,
-            epochs=args.epochs, n_requests=args.requests, k=args.k)
+            epochs=args.epochs, n_requests=args.requests, k=args.k,
+            index_path=args.index, fail_rate=args.fail_rate)
         print(format_results(results))
         return 0
     except (CheckpointError, IndexFormatError) as exc:
@@ -308,6 +425,62 @@ def _serve_export(args, build_index) -> int:
     return 0
 
 
+def _print_kv(record: dict, skip=()) -> None:
+    for key, value in record.items():
+        if key in skip:
+            continue
+        print(f"  {key}: {value}")
+
+
+def cmd_robust(args) -> int:
+    from repro.robust import TrainingDivergedError
+    from repro.robust.drills import (run_checkpoint_drill,
+                                     run_serving_drill,
+                                     run_training_drill)
+    from repro.serve import CheckpointError
+    if args.inject_target == "train":
+        try:
+            record = run_training_drill(
+                model_name=args.model, dataset_name=args.dataset,
+                epochs=args.epochs, checkpoint_dir=args.checkpoint_dir,
+                nan_epoch=args.nan_epoch, nan_kind=args.nan_kind,
+                kill_epoch=args.kill_epoch,
+                checkpoint_every=args.checkpoint_every,
+                max_retries=args.max_retries, lr_backoff=args.lr_backoff,
+                resume=args.resume, seed=args.seed)
+        except TrainingDivergedError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        status = ("crashed (resume with --resume)" if record["crashed"]
+                  else "completed" if record["completed"] else "partial")
+        print(f"robust inject train: {record['model']} on "
+              f"{record['dataset']} -> {status}")
+        _print_kv(record, skip=("model", "dataset", "events"))
+        return 3 if record["crashed"] else 0
+    if args.inject_target == "serve":
+        record = run_serving_drill(
+            model_name=args.model, dataset_name=args.dataset,
+            epochs=args.epochs, n_requests=args.requests,
+            fail_rate=args.fail_rate, delay_rate=args.delay_rate,
+            delay_s=args.delay, timeout_s=args.timeout,
+            retries=args.retries, k=args.k, seed=args.seed)
+        verdict = "all responses valid" if record["all_valid"] else \
+            f"only {record['n_valid']}/{record['n_requests']} valid"
+        print(f"robust inject serve: {record['model']} on "
+              f"{record['dataset']} -> {verdict}")
+        _print_kv(record, skip=("model", "dataset"))
+        return 0 if record["all_valid"] else 1
+    record = run_checkpoint_drill(args.path, seed=args.seed)
+    verdict = ("corruption detected" if record["detected"]
+               else "corruption NOT detected")
+    print(f"robust inject checkpoint: {record['path']} -> {verdict}")
+    _print_kv(record, skip=("path",))
+    return 0 if record["detected"] else 1
+
+
 COMMANDS = {
     "stats": cmd_stats,
     "train": cmd_train,
@@ -316,6 +489,7 @@ COMMANDS = {
     "cases": cmd_cases,
     "obs": cmd_obs,
     "serve": cmd_serve,
+    "robust": cmd_robust,
 }
 
 

@@ -11,7 +11,7 @@ The paper's own models live in :mod:`repro.core`
 (:class:`~repro.core.LogiRec`, :class:`~repro.core.LogiRecPP`).
 """
 
-from repro.models.base import Recommender, TrainConfig
+from repro.models.base import Recommender, ServableModel, TrainConfig
 from repro.models.bprmf import BPRMF
 from repro.models.neumf import NeuMF
 from repro.models.cml import CML
@@ -28,6 +28,7 @@ from repro.models.hrcf import HRCF
 
 __all__ = [
     "Recommender",
+    "ServableModel",
     "TrainConfig",
     "BPRMF",
     "NeuMF",

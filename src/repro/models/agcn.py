@@ -34,10 +34,13 @@ class AGCN(Recommender):
         self.n_layers = int(n_layers)
         self.attr_weight = float(attr_weight)
         self.l2 = float(l2)
-        self.user_emb = Parameter(self.rng.normal(0, 0.1, (n_users, d)))
-        self.item_emb = Parameter(self.rng.normal(0, 0.1, (n_items, d)))
-        self.attr_w = Parameter(self.rng.normal(0, 0.1, (d, n_tags)))
-        self.attr_b = Parameter(np.zeros(n_tags))
+        self.user_emb = Parameter(self.rng.normal(0, 0.1, (n_users, d)),
+                                  name="user")
+        self.item_emb = Parameter(self.rng.normal(0, 0.1, (n_items, d)),
+                                  name="item")
+        self.attr_w = Parameter(self.rng.normal(0, 0.1, (d, n_tags)),
+                                name="attr_w")
+        self.attr_b = Parameter(np.zeros(n_tags), name="attr_b")
         self._adj = None
         self._labels: Optional[np.ndarray] = None
 

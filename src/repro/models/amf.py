@@ -29,9 +29,12 @@ class AMF(Recommender):
         self.n_tags = int(n_tags)
         self.aspect_weight = float(aspect_weight)
         self.l2 = float(l2)
-        self.user_emb = Parameter(self.rng.normal(0, 0.1, (n_users, d)))
-        self.item_emb = Parameter(self.rng.normal(0, 0.1, (n_items, d)))
-        self.tag_emb = Parameter(self.rng.normal(0, 0.1, (n_tags, d)))
+        self.user_emb = Parameter(self.rng.normal(0, 0.1, (n_users, d)),
+                                  name="user")
+        self.item_emb = Parameter(self.rng.normal(0, 0.1, (n_items, d)),
+                                  name="item")
+        self.tag_emb = Parameter(self.rng.normal(0, 0.1, (n_tags, d)),
+                                 name="tag")
         self._tag_mean: Optional[sp.csr_matrix] = None
 
     def prepare(self, dataset: InteractionDataset, split: Split) -> None:

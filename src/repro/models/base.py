@@ -11,6 +11,16 @@ Every model implements two hooks:
 :class:`~repro.data.TripletSampler`, backward, optimizer step, and an
 optional per-epoch hook (used e.g. by LogiRec++ to refresh granularity
 weights).
+
+The checkpoint/serving surface is a separate, explicit contract:
+:class:`ServableModel` names the four hooks (``state_dict`` /
+``load_state_dict`` / ``export_extra_init`` / ``export_scoring``) that
+:mod:`repro.serve` and :mod:`repro.robust` are written against, and
+:class:`Recommender` implements them once for the whole zoo.  The fit
+loop additionally accepts a *supervisor* (duck-typed; see
+:class:`repro.robust.TrainingSupervisor`) that can auto-checkpoint,
+roll back after divergence, resume mid-training, and inject faults —
+with ``supervisor=None`` the loop is exactly the plain one.
 """
 
 from __future__ import annotations
@@ -54,7 +64,54 @@ class TrainConfig:
     verbose: bool = False
 
 
-class Recommender(abc.ABC):
+class ServableModel(abc.ABC):
+    """The checkpoint/serving contract every registry model satisfies.
+
+    :mod:`repro.serve` (checkpoints, retrieval index) and
+    :mod:`repro.robust` (auto-checkpoint/rollback/resume) call exactly
+    these four hooks — nothing else — so conforming to this ABC is what
+    makes a model deployable.  :class:`Recommender` provides shared
+    implementations; a model class that removes or shadows one without
+    a working replacement fails instantiation here instead of failing
+    at serving time, and ``tests/test_servable_api.py`` additionally
+    checks the *semantics* (round trips, scoring-spec validity)
+    registry-wide.
+    """
+
+    @abc.abstractmethod
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Ordered ``{"<position>:<name>": array}`` parameter snapshot."""
+
+    @abc.abstractmethod
+    def load_state_dict(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict` snapshot (strict: shapes + keys)."""
+
+    @abc.abstractmethod
+    def export_extra_init(self) -> Dict[str, object]:
+        """Scalar constructor kwargs beyond the universal ones."""
+
+    @abc.abstractmethod
+    def export_scoring(self) -> Dict[str, object]:
+        """Frozen scoring spec (``{"kind": ..., ...arrays}``) for the
+        offline retrieval index."""
+
+
+@dataclass
+class FitState:
+    """Mutable cross-epoch training state owned by :meth:`Recommender.fit`.
+
+    ``epoch`` is the next epoch to run (== epochs completed so far);
+    supervisors rewind it on rollback and fast-forward it on resume.
+    The best-validation snapshot lives here so it checkpoints and
+    restores together with everything else.
+    """
+
+    epoch: int = 0
+    best_score: float = -np.inf
+    best_state: Optional[List[np.ndarray]] = None
+
+
+class Recommender(ServableModel):
     """Base class for every reproduced model."""
 
     def __init__(self, n_users: int, n_items: int,
@@ -96,7 +153,8 @@ class Recommender(abc.ABC):
     # ------------------------------------------------------------------
     def fit(self, dataset: InteractionDataset, split: Split,
             evaluator=None, eval_every: int = 25,
-            eval_metric: str = "recall@10") -> "Recommender":
+            eval_metric: str = "recall@10",
+            supervisor=None) -> "Recommender":
         """Train on ``split.train`` and return self.
 
         If an :class:`~repro.eval.Evaluator` is supplied, validation
@@ -104,6 +162,16 @@ class Recommender(abc.ABC):
         parameter snapshot is restored at the end (the paper tunes every
         model on the validation split; best-epoch selection is part of
         that protocol and applied uniformly to all models).
+
+        ``supervisor`` (e.g. :class:`repro.robust.TrainingSupervisor`)
+        observes the loop through four hooks: ``on_fit_start`` (may
+        fast-forward :class:`FitState` to resume), ``on_epoch_start``
+        and ``on_batch`` (fault-injection points), and ``on_epoch_end``,
+        which returns the next epoch to run — ``epoch + 1`` normally, or
+        an earlier epoch to roll back after a detected divergence.  A
+        supervisor that injects nothing leaves the run bit-identical to
+        ``supervisor=None``: no hook consumes model RNG or touches
+        parameters.
 
         When a :mod:`repro.obs` run is active the loop emits a span tree
         (``fit > epoch > {epoch_setup, sample, forward, backward, step,
@@ -119,14 +187,19 @@ class Recommender(abc.ABC):
             sampler = TripletSampler(dataset, split.train, rng=self.rng,
                                      n_negatives=self.config.n_negatives)
             optimizer = self.make_optimizer()
-            best_score = -np.inf
-            best_state: Optional[List[np.ndarray]] = None
+            state = FitState()
+            if supervisor is not None:
+                supervisor.on_fit_start(self, optimizer, state,
+                                        dataset=dataset)
             limiter = obs.RateLimiter(min_interval_s=0.5)
-            for epoch in range(self.config.epochs):
+            epoch = state.epoch
+            while epoch < self.config.epochs:
                 last_epoch = epoch == self.config.epochs - 1
+                if supervisor is not None:
+                    supervisor.on_epoch_start(self, epoch)
                 with obs.trace("epoch", epoch=epoch) as epoch_span:
                     mean_loss = self._fit_epoch(epoch, sampler, optimizer,
-                                                epoch_span)
+                                                epoch_span, supervisor)
                     if self.config.verbose and limiter.ready(
                             force=epoch == 0 or last_epoch):
                         LOG.info("%s epoch %d/%d loss=%.4f",
@@ -137,17 +210,22 @@ class Recommender(abc.ABC):
                         with obs.trace("validate", epoch=epoch):
                             score = evaluator.evaluate_valid(
                                 self).means[eval_metric]
-                        if score > best_score:
-                            best_score = score
-                            best_state = [p.data.copy()
-                                          for p in self.parameters()]
-            if best_state is not None:
-                for p, data in zip(self.parameters(), best_state):
+                        if score > state.best_score:
+                            state.best_score = score
+                            state.best_state = [p.data.copy()
+                                                for p in self.parameters()]
+                if supervisor is None:
+                    epoch += 1
+                else:
+                    epoch = supervisor.on_epoch_end(self, optimizer, state,
+                                                    epoch, mean_loss)
+            if state.best_state is not None:
+                for p, data in zip(self.parameters(), state.best_state):
                     p.data[...] = data
         return self
 
     def _fit_epoch(self, epoch: int, sampler: TripletSampler,
-                   optimizer, epoch_span) -> float:
+                   optimizer, epoch_span, supervisor=None) -> float:
         """One epoch over the sampler; returns the epoch-mean loss.
 
         Phase wall-clock (sampling / forward / backward / optimizer step)
@@ -177,6 +255,8 @@ class Recommender(abc.ABC):
             t0 = time.perf_counter()
             loss.backward()
             t_backward += time.perf_counter() - t0
+            if supervisor is not None:
+                supervisor.on_batch(self, epoch, len(batch_losses))
             if telemetry:
                 grad_norm = self._global_norm(
                     p.grad for p in self.parameters())
@@ -267,7 +347,7 @@ class Recommender(abc.ABC):
         return (d @ adj @ d).tocsr()
 
     # ------------------------------------------------------------------
-    # State export (checkpointing / serving; see repro.serve)
+    # ServableModel contract (checkpointing / serving; see repro.serve)
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
         """Ordered ``{key: array}`` snapshot of every learnable parameter.

@@ -46,8 +46,10 @@ class CML(Recommender):
         super().__init__(n_users, n_items, config)
         d = self.config.dim
         ball = UnitBall()
-        self.user_emb = Parameter.random((n_users, d), ball, self.rng)
-        self.item_emb = Parameter.random((n_items, d), ball, self.rng)
+        self.user_emb = Parameter.random((n_users, d), ball, self.rng,
+                                         name="user")
+        self.item_emb = Parameter.random((n_items, d), ball, self.rng,
+                                         name="item")
 
     def parameters(self) -> List[Parameter]:
         return [self.user_emb, self.item_emb]

@@ -31,9 +31,12 @@ class CMLF(Recommender):
         ball = UnitBall()
         self.n_tags = int(n_tags)
         self.feature_weight = float(feature_weight)
-        self.user_emb = Parameter.random((n_users, d), ball, self.rng)
-        self.item_emb = Parameter.random((n_items, d), ball, self.rng)
-        self.tag_emb = Parameter.random((n_tags, d), ball, self.rng)
+        self.user_emb = Parameter.random((n_users, d), ball, self.rng,
+                                         name="user")
+        self.item_emb = Parameter.random((n_items, d), ball, self.rng,
+                                         name="item")
+        self.tag_emb = Parameter.random((n_tags, d), ball, self.rng,
+                                        name="tag")
         self._tag_mean: Optional[sp.csr_matrix] = None
 
     def prepare(self, dataset: InteractionDataset, split: Split) -> None:

@@ -52,15 +52,19 @@ class GDCF(Recommender):
         self.d_each = d_each
         self.n_layers = int(n_layers)
         self.user_hyp = Parameter(self.rng.normal(0, 0.1,
-                                                  (n_users, d_each)))
+                                                  (n_users, d_each)),
+                                  name="user_hyp")
         self.item_hyp = Parameter(self.rng.normal(0, 0.1,
-                                                  (n_items, d_each)))
+                                                  (n_items, d_each)),
+                                  name="item_hyp")
         self.user_euc = Parameter(self.rng.normal(0, 0.1,
-                                                  (n_users, d_each)))
+                                                  (n_users, d_each)),
+                                  name="user_euc")
         self.item_euc = Parameter(self.rng.normal(0, 0.1,
-                                                  (n_items, d_each)))
+                                                  (n_items, d_each)),
+                                  name="item_euc")
         # Log-weight of the Euclidean factor relative to the hyperbolic one.
-        self.mix_logit = Parameter(np.zeros(1))
+        self.mix_logit = Parameter(np.zeros(1), name="mix_logit")
         self._adj_ui = None
         self._adj_iu = None
 

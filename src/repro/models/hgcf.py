@@ -41,14 +41,16 @@ class HGCF(Recommender):
         manifold = Lorentz()
         if parameterization == "tangent":
             self.user_emb = Parameter(self.rng.normal(0, 0.1,
-                                                      (n_users, d)))
+                                                      (n_users, d)),
+                                      name="user")
             self.item_emb = Parameter(self.rng.normal(0, 0.1,
-                                                      (n_items, d)))
+                                                      (n_items, d)),
+                                      name="item")
         else:
             self.user_emb = Parameter.random((n_users, d + 1), manifold,
-                                             self.rng)
+                                             self.rng, name="user")
             self.item_emb = Parameter.random((n_items, d + 1), manifold,
-                                             self.rng)
+                                             self.rng, name="item")
         self._adj_ui = None
         self._adj_iu = None
 

@@ -31,14 +31,16 @@ class HyperML(Recommender):
         self.parameterization = parameterization
         if parameterization == "tangent":
             self.user_emb = Parameter(self.rng.normal(0, 0.1,
-                                                      (n_users, d)))
+                                                      (n_users, d)),
+                                      name="user")
             self.item_emb = Parameter(self.rng.normal(0, 0.1,
-                                                      (n_items, d)))
+                                                      (n_items, d)),
+                                      name="item")
         else:
             self.user_emb = Parameter.random((n_users, d), self.ball,
-                                             self.rng)
+                                             self.rng, name="user")
             self.item_emb = Parameter.random((n_items, d), self.ball,
-                                             self.rng)
+                                             self.rng, name="item")
 
     def parameters(self) -> List[Parameter]:
         return [self.user_emb, self.item_emb]

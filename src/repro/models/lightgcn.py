@@ -28,8 +28,10 @@ class LightGCN(Recommender):
         d = self.config.dim
         self.n_layers = int(n_layers)
         self.l2 = float(l2)
-        self.user_emb = Parameter(self.rng.normal(0, 0.1, (n_users, d)))
-        self.item_emb = Parameter(self.rng.normal(0, 0.1, (n_items, d)))
+        self.user_emb = Parameter(self.rng.normal(0, 0.1, (n_users, d)),
+                                  name="user")
+        self.item_emb = Parameter(self.rng.normal(0, 0.1, (n_items, d)),
+                                  name="item")
         self._adj = None
 
     def prepare(self, dataset: InteractionDataset, split: Split) -> None:

@@ -26,18 +26,24 @@ class NeuMF(Recommender):
         super().__init__(n_users, n_items, config)
         d = self.config.dim
         rng = self.rng
-        self.user_gmf = Parameter(rng.normal(0, 0.1, (n_users, d)))
-        self.item_gmf = Parameter(rng.normal(0, 0.1, (n_items, d)))
-        self.user_mlp = Parameter(rng.normal(0, 0.1, (n_users, d)))
-        self.item_mlp = Parameter(rng.normal(0, 0.1, (n_items, d)))
+        self.user_gmf = Parameter(rng.normal(0, 0.1, (n_users, d)),
+                                  name="user_gmf")
+        self.item_gmf = Parameter(rng.normal(0, 0.1, (n_items, d)),
+                                  name="item_gmf")
+        self.user_mlp = Parameter(rng.normal(0, 0.1, (n_users, d)),
+                                  name="user_mlp")
+        self.item_mlp = Parameter(rng.normal(0, 0.1, (n_items, d)),
+                                  name="item_mlp")
         h1, h2 = d, d // 2
         self.w1 = Parameter(rng.normal(0, np.sqrt(2.0 / (2 * d)),
-                                       (2 * d, h1)))
-        self.b1 = Parameter(np.zeros(h1))
-        self.w2 = Parameter(rng.normal(0, np.sqrt(2.0 / h1), (h1, h2)))
-        self.b2 = Parameter(np.zeros(h2))
-        self.w_out = Parameter(rng.normal(0, 0.1, (d + h2, 1)))
-        self.b_out = Parameter(np.zeros(1))
+                                       (2 * d, h1)), name="w1")
+        self.b1 = Parameter(np.zeros(h1), name="b1")
+        self.w2 = Parameter(rng.normal(0, np.sqrt(2.0 / h1), (h1, h2)),
+                            name="w2")
+        self.b2 = Parameter(np.zeros(h2), name="b2")
+        self.w_out = Parameter(rng.normal(0, 0.1, (d + h2, 1)),
+                               name="w_out")
+        self.b_out = Parameter(np.zeros(1), name="b_out")
 
     def parameters(self) -> List[Parameter]:
         return [self.user_gmf, self.item_gmf, self.user_mlp, self.item_mlp,

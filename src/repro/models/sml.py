@@ -32,12 +32,16 @@ class SML(Recommender):
         self.gamma = float(gamma)          # weight of the symmetric term
         self.margin_reg = float(margin_reg)
         self.max_margin = float(max_margin)
-        self.user_emb = Parameter.random((n_users, d), ball, self.rng)
-        self.item_emb = Parameter.random((n_items, d), ball, self.rng)
+        self.user_emb = Parameter.random((n_users, d), ball, self.rng,
+                                         name="user")
+        self.item_emb = Parameter.random((n_items, d), ball, self.rng,
+                                         name="item")
         self.user_margin = Parameter(
-            np.full((n_users, 1), self.config.margin))
+            np.full((n_users, 1), self.config.margin),
+            name="user_margin")
         self.item_margin = Parameter(
-            np.full((n_items, 1), self.config.margin))
+            np.full((n_items, 1), self.config.margin),
+            name="item_margin")
 
     def parameters(self) -> List[Parameter]:
         return [self.user_emb, self.item_emb, self.user_margin,

@@ -35,10 +35,14 @@ class TransC(Recommender):
         d = self.config.dim
         self.n_tags = int(n_tags)
         self.relation_weight = float(relation_weight)
-        self.user_emb = Parameter(self.rng.normal(0, 0.1, (n_users, d)))
-        self.item_emb = Parameter(self.rng.normal(0, 0.1, (n_items, d)))
-        self.tag_emb = Parameter(self.rng.normal(0, 0.3, (n_tags, d)))
-        self.tag_radii_raw = Parameter(np.full((n_tags, 1), 0.2))
+        self.user_emb = Parameter(self.rng.normal(0, 0.1, (n_users, d)),
+                                  name="user")
+        self.item_emb = Parameter(self.rng.normal(0, 0.1, (n_items, d)),
+                                  name="item")
+        self.tag_emb = Parameter(self.rng.normal(0, 0.3, (n_tags, d)),
+                                 name="tag")
+        self.tag_radii_raw = Parameter(np.full((n_tags, 1), 0.2),
+                                       name="tag_radii")
         self._membership = None
         self._hierarchy = None
 

@@ -12,7 +12,7 @@ instance can drive the mixed parameter sets of the hyperbolic models.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
@@ -33,6 +33,19 @@ class RiemannianAdam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["t"] = int(self._t)
+        self._store_arrays(state, "m", self._m)
+        self._store_arrays(state, "v", self._v)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._t = int(state.get("t", 0))
+        self._restore_arrays(state, "m", self._m)
+        self._restore_arrays(state, "v", self._v)
 
     def step(self) -> None:
         self._t += 1

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -22,6 +22,47 @@ class Optimizer:
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
+
+    # ------------------------------------------------------------------
+    # State round trip (mid-training checkpoint/resume; repro.robust)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Mutable optimizer state: scalars plus per-parameter arrays.
+
+        Values are floats/ints or numpy arrays; the persistence layer
+        (``repro.robust.training``) splits them accordingly.  Restoring
+        this state into a freshly built optimizer makes its next ``step``
+        bit-identical to the never-serialized one — momentum/moment
+        buffers would otherwise restart from zero on resume.
+        """
+        state: Dict[str, object] = {}
+        if hasattr(self, "lr"):
+            state["lr"] = float(self.lr)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        if "lr" in state and hasattr(self, "lr"):
+            self.lr = float(state["lr"])
+
+    @staticmethod
+    def _store_arrays(state: Dict[str, object], prefix: str,
+                      arrays: List[np.ndarray]) -> None:
+        for i, a in enumerate(arrays):
+            state[f"{prefix}_{i:03d}"] = a.copy()
+
+    @staticmethod
+    def _restore_arrays(state: Dict[str, object], prefix: str,
+                        arrays: List[np.ndarray]) -> None:
+        for i, a in enumerate(arrays):
+            key = f"{prefix}_{i:03d}"
+            if key not in state:
+                raise ValueError(f"optimizer state is missing {key!r}")
+            data = np.asarray(state[key])
+            if data.shape != a.shape:
+                raise ValueError(
+                    f"optimizer state {key!r} has shape {data.shape}, "
+                    f"expected {a.shape}")
+            a[...] = data
 
     def _clipped_grad(self, p: Parameter) -> Optional[np.ndarray]:
         if p.grad is None:
@@ -47,6 +88,15 @@ class SGD(Optimizer):
         self.lr = float(lr)
         self.momentum = float(momentum)
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        self._store_arrays(state, "velocity", self._velocity)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._restore_arrays(state, "velocity", self._velocity)
 
     def step(self) -> None:
         for p, vel in zip(self.params, self._velocity):
@@ -74,6 +124,19 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
         self._t = 0
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state["t"] = int(self._t)
+        self._store_arrays(state, "m", self._m)
+        self._store_arrays(state, "v", self._v)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self._t = int(state.get("t", 0))
+        self._restore_arrays(state, "m", self._m)
+        self._restore_arrays(state, "v", self._v)
 
     def step(self) -> None:
         self._t += 1

@@ -1,0 +1,82 @@
+"""Error-rate circuit breaker (closed → open → half-open).
+
+Protects the serving hot path from hammering a failing scorer: once the
+recent failure rate crosses the policy threshold the breaker *opens* and
+the engine serves fallbacks without touching the index at all, which is
+both faster for the caller and kinder to whatever is failing.  After a
+request-counted cooldown one probe is let through (*half-open*); its
+outcome decides between closing and re-opening.
+
+Single-threaded by design (the engine is synchronous), request-counted
+rather than clock-based so drills replay deterministically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.robust.policies import BreakerPolicy
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker driven by :class:`BreakerPolicy`."""
+
+    def __init__(self, policy: BreakerPolicy = None):
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self.state = CLOSED
+        self.opens = 0                 # lifetime open transitions
+        self._window: Deque[bool] = deque(maxlen=self.policy.window)
+        self._cooldown_left = 0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Should the next request attempt real scoring?
+
+        While open, counts down the cooldown and short-circuits; the
+        request that exhausts it becomes the half-open probe.
+        """
+        if self.state == OPEN:
+            if self._cooldown_left > 0:
+                self._cooldown_left -= 1
+                return False
+            self.state = HALF_OPEN
+        return True
+
+    def record(self, ok: bool) -> bool:
+        """Record a guarded request's final outcome.
+
+        Returns True when this outcome tripped the breaker open (the
+        caller counts open transitions in its metrics).
+        """
+        if self.state == HALF_OPEN:
+            if ok:
+                self.state = CLOSED
+                self._window.clear()
+                return False
+            return self._open()
+        self._window.append(ok)
+        if (self.state == CLOSED
+                and len(self._window) >= self.policy.min_requests):
+            failures = self._window.count(False)
+            if failures / len(self._window) >= self.policy.threshold:
+                return self._open()
+        return False
+
+    def _open(self) -> bool:
+        self.state = OPEN
+        self.opens += 1
+        self._cooldown_left = self.policy.cooldown
+        self._window.clear()
+        return True
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """State for metrics/debug output."""
+        return {"state": self.state, "opens": self.opens,
+                "window_size": len(self._window),
+                "cooldown_left": self._cooldown_left}

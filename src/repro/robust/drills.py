@@ -1,0 +1,168 @@
+"""Reusable fault-injection drills behind ``repro robust inject``.
+
+Each drill builds a small real workload, injects the requested faults
+through :class:`~repro.robust.faults.FaultPlan`, exercises the recovery
+machinery end to end, and returns a plain dict of observations — the
+CLI is only a formatter over these, and ``scripts/ci.sh`` greps their
+output, so the exact same code path is what CI gates on.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.robust.faults import (FaultPlan, FaultSpec, FaultyIndex,
+                                 SimulatedCrash)
+from repro.robust.policies import (BreakerPolicy, ResilienceConfig,
+                                   RetryPolicy)
+from repro.robust.training import TrainingSupervisor, has_fit_state
+
+
+def run_training_drill(model_name: str = "BPRMF",
+                       dataset_name: str = "cd", epochs: int = 4,
+                       checkpoint_dir="robust_ck",
+                       nan_epoch: Optional[int] = None,
+                       nan_kind: str = "nan_grad",
+                       kill_epoch: Optional[int] = None,
+                       checkpoint_every: int = 1, max_retries: int = 3,
+                       lr_backoff: float = 0.5, resume: bool = False,
+                       seed: int = 0) -> Dict[str, object]:
+    """Train with injected training faults; returns the recovery record.
+
+    ``crashed=True`` means the injected kill point fired (the drill
+    swallows :class:`SimulatedCrash` — that *is* the expected outcome);
+    re-running with ``resume=True`` finishes the run from the
+    auto-checkpoint.  Divergence-budget exhaustion is **not** swallowed:
+    :class:`~repro.robust.training.TrainingDivergedError` propagates so
+    callers see the failure mode they asked to provoke.
+    """
+    from repro.data import load_dataset, temporal_split
+    from repro.experiments.runner import build_model
+    from repro.serve.checkpoint import load_checkpoint
+
+    dataset = load_dataset(dataset_name)
+    split = temporal_split(dataset)
+    resumed_from = None
+    if resume and has_fit_state(checkpoint_dir):
+        model = load_checkpoint(checkpoint_dir, dataset=dataset,
+                                split=split)
+        resumed_from = len(model.loss_history)
+    else:
+        model = build_model(model_name, dataset, seed=seed)
+    model.config.epochs = int(epochs)
+    specs = []
+    if nan_epoch is not None:
+        specs.append(FaultSpec(nan_kind, epoch=int(nan_epoch)))
+    if kill_epoch is not None:
+        specs.append(FaultSpec("kill", epoch=int(kill_epoch)))
+    plan = FaultPlan(specs, seed=seed)
+    policy = ResilienceConfig(
+        checkpoint_dir=checkpoint_dir, checkpoint_every=checkpoint_every,
+        max_retries=max_retries, lr_backoff=lr_backoff, resume=resume)
+    supervisor = TrainingSupervisor(policy, fault_plan=plan)
+    crashed = False
+    try:
+        model.fit(dataset, split, supervisor=supervisor)
+    except SimulatedCrash:
+        crashed = True
+    losses = model.loss_history
+    return {
+        "model": type(model).__name__,
+        "dataset": dataset_name,
+        "epochs_requested": int(epochs),
+        "epochs_done": len(losses),
+        "completed": not crashed and len(losses) >= int(epochs),
+        "crashed": crashed,
+        "resumed_from": resumed_from,
+        "final_loss": float(losses[-1]) if losses else None,
+        "all_losses_finite": bool(np.isfinite(losses).all()) if losses
+        else True,
+        "faults_injected": plan.counts(),
+        **supervisor.summary(),
+    }
+
+
+def run_serving_drill(model_name: str = "BPRMF", dataset_name: str = "cd",
+                      epochs: int = 2, n_requests: int = 100,
+                      fail_rate: float = 0.1, delay_rate: float = 0.0,
+                      delay_s: float = 0.05,
+                      timeout_s: Optional[float] = None,
+                      retries: int = 2, k: int = 10,
+                      breaker: Optional[BreakerPolicy] = None,
+                      seed: int = 0) -> Dict[str, object]:
+    """Serve ``n_requests`` against a fault-wrapped index.
+
+    The acceptance bar this measures: every request gets a valid ranked
+    list of ``k`` distinct item ids, no exception escapes the service,
+    and the degradation shows up in the counters rather than in the
+    responses.
+    """
+    from repro.data import load_dataset, temporal_split
+    from repro.experiments.runner import build_model
+    from repro.serve.config import ServiceConfig
+    from repro.serve.engine import RecommendService
+    from repro.serve.index import build_index
+
+    dataset = load_dataset(dataset_name)
+    split = temporal_split(dataset)
+    model = build_model(model_name, dataset, seed=seed)
+    model.config.epochs = int(epochs)
+    model.fit(dataset, split)
+    index = build_index(model, dataset, split)
+    specs = []
+    if fail_rate > 0:
+        specs.append(FaultSpec("score_error", rate=fail_rate))
+    if delay_rate > 0:
+        specs.append(FaultSpec("score_delay", rate=delay_rate,
+                               delay_s=delay_s))
+    plan = FaultPlan(specs, seed=seed)
+    config = ServiceConfig(
+        k=int(k), cache_size=0,
+        retry=RetryPolicy(retries=int(retries), backoff_s=0.0,
+                          timeout_s=timeout_s),
+        breaker=breaker if breaker is not None else BreakerPolicy())
+    service = RecommendService(FaultyIndex(index, plan), config=config)
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, dataset.n_users, size=int(n_requests))
+    responses = service.query_batch(users)
+    n_valid = sum(
+        1 for r in responses
+        if len(r["items"]) == int(k) and len(set(r["items"])) == int(k))
+    return {
+        "model": model_name,
+        "dataset": dataset_name,
+        "n_requests": int(n_requests),
+        "n_valid": int(n_valid),
+        "all_valid": n_valid == int(n_requests),
+        "faults_injected": plan.counts(),
+        "breaker": service.breaker.snapshot(),
+        "stats": dict(service.stats),
+    }
+
+
+def run_checkpoint_drill(path, seed: int = 0) -> Dict[str, object]:
+    """Corrupt one byte of a checkpoint and verify loading rejects it.
+
+    ``detected=True`` is the pass condition: the checksum caught the
+    corruption and :class:`CheckpointError` carried a one-line reason
+    instead of a silently wrong model coming back.
+    """
+    from repro.serve.checkpoint import (ARRAYS_FILE, CheckpointError,
+                                        load_checkpoint)
+
+    arrays_path = Path(path) / ARRAYS_FILE
+    if not arrays_path.is_file():
+        return {"path": str(path), "detected": False,
+                "error": f"no checkpoint arrays at {arrays_path}"}
+    offset = FaultPlan.corrupt_file(arrays_path, seed=seed)
+    try:
+        load_checkpoint(path)
+    except CheckpointError as exc:
+        return {"path": str(path), "detected": True,
+                "corrupted_offset": offset, "error": str(exc)}
+    return {"path": str(path), "detected": False,
+            "corrupted_offset": offset,
+            "error": "corrupted checkpoint loaded without complaint"}

@@ -1,0 +1,212 @@
+"""Deterministic fault injection for training and serving drills.
+
+A :class:`FaultPlan` is a seeded schedule of failures.  Every draw comes
+from the plan's own generator, so the same plan against the same request
+sequence injects the same faults — drills, tests, and CI all replay
+bit-identically.
+
+Fault kinds
+-----------
+``nan_grad``
+    On the first batch of epoch ``epoch``, overwrite one element of a
+    parameter's gradient with NaN (the classic hyperbolic-training
+    blowup: one bad conversion near the manifold boundary).
+``nan_param``
+    At the start of epoch ``epoch``, poison one element of a parameter
+    table — diverges every model regardless of whether its optimizer
+    skips non-finite gradients.
+``kill``
+    Raise :class:`SimulatedCrash` after epoch ``epoch``'s bookkeeping
+    (a process-kill point: the auto-checkpoint for that epoch, if due,
+    has already been written).
+``score_error``
+    Each guarded scoring call fails with probability ``rate``
+    (:class:`InjectedScoringError`).
+``score_delay``
+    Each guarded scoring call sleeps ``delay_s`` with probability
+    ``rate`` (exercises request timeouts).
+
+Training faults fire **once** by default (``once=True``): after the
+recovery machinery rolls the run back, the retry proceeds cleanly —
+matching real transient blowups, where a smaller learning rate gets
+past the bad batch.  Set ``once=False`` for a persistent fault (used to
+test retry-budget exhaustion).  Scoring faults are rate-based and use
+``max_faults`` to bound how many times they fire.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+TRAINING_KINDS = ("nan_grad", "nan_param", "kill")
+SCORING_KINDS = ("score_error", "score_delay")
+FAULT_KINDS = TRAINING_KINDS + SCORING_KINDS
+
+
+class FaultInjectionError(Exception):
+    """Base class for every injected failure."""
+
+
+class InjectedScoringError(FaultInjectionError):
+    """A scoring call failed because the fault plan said so."""
+
+
+class SimulatedCrash(FaultInjectionError):
+    """Training hit an injected process-kill point."""
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault; see the module docstring for the kinds."""
+
+    kind: str
+    epoch: Optional[int] = None     # nan_grad / nan_param / kill
+    rate: float = 0.0               # score_error / score_delay
+    delay_s: float = 0.0            # score_delay
+    param_index: int = 0            # which parameter to poison
+    once: bool = True               # training faults fire a single time
+    max_faults: Optional[int] = None  # cap on scoring-fault firings
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {list(FAULT_KINDS)}")
+        if self.kind in TRAINING_KINDS and self.epoch is None:
+            raise ValueError(f"{self.kind} fault needs an epoch")
+        if self.kind in SCORING_KINDS and not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+    def exhausted(self) -> bool:
+        if self.kind in TRAINING_KINDS:
+            return self.once and self.fired > 0
+        return self.max_faults is not None and self.fired >= self.max_faults
+
+
+class FaultPlan:
+    """A seeded, replayable schedule of :class:`FaultSpec` entries.
+
+    The plan is consulted by :class:`repro.robust.TrainingSupervisor`
+    (training faults) and :class:`FaultyIndex` (scoring faults); every
+    injection is appended to :attr:`events` as ``(kind, detail)`` so
+    drills and tests can assert exactly what fired.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0):
+        self.specs: List[FaultSpec] = list(specs)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(self.seed)
+        self.events: List[Tuple[str, dict]] = []
+
+    def _record(self, spec: FaultSpec, **detail) -> None:
+        spec.fired += 1
+        self.events.append((spec.kind, detail))
+
+    # ------------------------------------------------------------------
+    # Training-side queries (consulted by the TrainingSupervisor)
+    # ------------------------------------------------------------------
+    def _training_spec(self, kind: str, epoch: int) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if (spec.kind == kind and spec.epoch == epoch
+                    and not spec.exhausted()):
+                return spec
+        return None
+
+    def take_nan_grad(self, epoch: int) -> Optional[FaultSpec]:
+        """The ``nan_grad`` spec due this epoch, marking it fired."""
+        spec = self._training_spec("nan_grad", epoch)
+        if spec is not None:
+            self._record(spec, epoch=epoch, param_index=spec.param_index)
+        return spec
+
+    def take_nan_param(self, epoch: int) -> Optional[FaultSpec]:
+        """The ``nan_param`` spec due this epoch, marking it fired."""
+        spec = self._training_spec("nan_param", epoch)
+        if spec is not None:
+            self._record(spec, epoch=epoch, param_index=spec.param_index)
+        return spec
+
+    def take_kill(self, epoch: int) -> bool:
+        """True when an unexpired kill point is scheduled for ``epoch``."""
+        spec = self._training_spec("kill", epoch)
+        if spec is not None:
+            self._record(spec, epoch=epoch)
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Serving-side draws (consulted by FaultyIndex per scoring call)
+    # ------------------------------------------------------------------
+    def draw_scoring_fault(self) -> Optional[FaultSpec]:
+        """One seeded draw per active scoring spec; first hit wins.
+
+        Draw order is the spec order, and the generator advances once
+        per active spec per call, so the fault sequence is a pure
+        function of ``(seed, call sequence)``.
+        """
+        hit: Optional[FaultSpec] = None
+        for spec in self.specs:
+            if spec.kind not in SCORING_KINDS or spec.exhausted():
+                continue
+            if self.rng.random() < spec.rate and hit is None:
+                hit = spec
+        if hit is not None:
+            self._record(hit, delay_s=hit.delay_s)
+        return hit
+
+    # ------------------------------------------------------------------
+    # Artifact corruption
+    # ------------------------------------------------------------------
+    @staticmethod
+    def corrupt_file(path, seed: int = 0) -> int:
+        """Flip one seeded byte of ``path`` in place; returns the offset.
+
+        Used to prove the checkpoint/index checksum actually catches
+        bit rot instead of loading a silently wrong model.
+        """
+        path = Path(path)
+        blob = bytearray(path.read_bytes())
+        if not blob:
+            raise ValueError(f"cannot corrupt empty file {path}")
+        offset = int(np.random.default_rng(seed).integers(0, len(blob)))
+        blob[offset] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        return offset
+
+    def counts(self) -> dict:
+        """``{kind: times fired}`` over everything injected so far."""
+        out: dict = {}
+        for kind, _ in self.events:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+
+class FaultyIndex:
+    """Proxy over a :class:`~repro.serve.RetrievalIndex` that injects
+    scoring faults at the exact boundary the serving engine guards.
+
+    Only :meth:`score_user` is intercepted — masks, popularity, and
+    metadata pass straight through — so everything the engine does with
+    a *successful* score stays bit-identical to the clean index.
+    """
+
+    def __init__(self, index, plan: FaultPlan):
+        self._index = index
+        self._plan = plan
+
+    def __getattr__(self, name):
+        return getattr(self._index, name)
+
+    def score_user(self, user_id: int) -> np.ndarray:
+        spec = self._plan.draw_scoring_fault()
+        if spec is not None:
+            if spec.kind == "score_error":
+                raise InjectedScoringError(
+                    f"injected scoring failure for user {user_id}")
+            time.sleep(spec.delay_s)
+        return self._index.score_user(user_id)

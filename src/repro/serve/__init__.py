@@ -9,9 +9,13 @@ The subsystem turns a trained in-memory model into deployable artifacts:
   model's scoring arithmetic (:meth:`Recommender.export_scoring`) into
   precomputed tables, so per-request scoring is one small matvec instead
   of a full forward pass.
+* :mod:`repro.serve.config` — :class:`ServiceConfig`, the formal
+  deployment configuration (list length, cache, retry/breaker policies,
+  fallback mode) shared by the engine, the bench, and the CLI.
 * :mod:`repro.serve.engine` — :class:`RecommendService`, a batched online
-  inference engine with an LRU response cache and graceful degradation
-  (popularity fallback) for unknown users.
+  inference engine with an LRU response cache, retry/timeout guards, an
+  error-rate circuit breaker, and graceful degradation (stale-index or
+  popularity fallback) for unknown users and failed scoring.
 * :mod:`repro.serve.bench` — the load harness behind
   ``benchmarks/bench_serve.py`` and ``repro serve bench``.
 """
@@ -19,6 +23,7 @@ The subsystem turns a trained in-memory model into deployable artifacts:
 from repro.serve.checkpoint import (CHECKPOINT_VERSION, CheckpointError,
                                     load_checkpoint, read_checkpoint_meta,
                                     save_checkpoint)
+from repro.serve.config import FALLBACK_MODES, ServiceConfig
 from repro.serve.index import (INDEX_VERSION, IndexFormatError,
                                RetrievalIndex, build_index, load_index)
 from repro.serve.engine import RecommendService
@@ -34,5 +39,7 @@ __all__ = [
     "RetrievalIndex",
     "build_index",
     "load_index",
+    "FALLBACK_MODES",
+    "ServiceConfig",
     "RecommendService",
 ]

@@ -14,6 +14,16 @@ Each path reports p50/p95/p99 request latency (milliseconds) and QPS.
 ``benchmarks/bench_serve.py`` and ``repro serve bench`` are thin wrappers
 over this module; the ≥5x indexed-vs-naive speedup is the acceptance
 floor the benchmark records into ``BENCH_serve.json``.
+
+Two extras support operations work:
+
+* ``index_path`` benchmarks a *saved* index (``repro serve export``)
+  instead of training in-process — the naive path and speedup are
+  skipped because there is no live model to compare against.
+* ``fail_rate`` injects seeded scoring failures through
+  :class:`~repro.robust.FaultyIndex` and measures the ``degraded`` path:
+  what latency/QPS look like when retries and fallbacks are doing the
+  serving.
 """
 
 from __future__ import annotations
@@ -54,47 +64,68 @@ def _timed_each(fn, requests) -> Dict[str, float]:
 def run_serve_benchmark(model_name: str = "LogiRec++",
                         dataset_name: str = "ciao", epochs: int = 3,
                         n_requests: int = 200, batch_size: int = 32,
-                        k: int = 10, seed: int = 0) -> Dict[str, object]:
-    """Measure the four request paths; returns the results dict.
+                        k: int = 10, seed: int = 0,
+                        index_path=None,
+                        fail_rate: float = 0.0) -> Dict[str, object]:
+    """Measure the request paths; returns the results dict.
 
     ``epochs`` is tiny on purpose: request latency does not depend on
     model quality, only on the scoring arithmetic being the real one.
+    With ``index_path`` the saved index is benchmarked as-is (no
+    training, no naive path).  ``fail_rate > 0`` adds a ``degraded``
+    path measured under injected scoring failures.
     """
-    from repro.data import load_dataset, temporal_split
-    from repro.experiments.runner import build_model
+    from repro.serve.config import ServiceConfig
     from repro.serve.engine import RecommendService
-    from repro.serve.index import build_index
+    from repro.serve.index import build_index, load_index
 
     with obs.trace("serve_bench", model=model_name, dataset=dataset_name):
-        dataset = load_dataset(dataset_name)
-        split = temporal_split(dataset)
-        model = build_model(model_name, dataset, seed=seed)
-        model.config.epochs = int(epochs)
-        with obs.trace("train"):
-            model.fit(dataset, split)
-        with obs.trace("build_index"):
-            index = build_index(model, dataset, split)
+        model = None
+        naive = None
+        if index_path is not None:
+            with obs.trace("load_index"):
+                index = load_index(index_path)
+            model_name = str(index.meta.get("model_class", model_name))
+            dataset_name = str(index.meta.get("dataset", dataset_name))
+            n_users, n_items = index.n_users, index.n_items
+        else:
+            from repro.data import load_dataset, temporal_split
+            from repro.experiments.runner import build_model
+
+            dataset = load_dataset(dataset_name)
+            split = temporal_split(dataset)
+            model = build_model(model_name, dataset, seed=seed)
+            model.config.epochs = int(epochs)
+            with obs.trace("train"):
+                model.fit(dataset, split)
+            with obs.trace("build_index"):
+                index = build_index(model, dataset, split)
+            n_users, n_items = dataset.n_users, dataset.n_items
 
         rng = np.random.default_rng(seed)
-        users = rng.integers(0, dataset.n_users, size=n_requests)
-        train_items = dataset.items_of_user(split.train)
+        users = rng.integers(0, n_users, size=n_requests)
 
-        def _naive(uid: int):
-            return model.recommend(int(uid), k=k,
-                                   exclude=train_items.get(int(uid), ()))
+        cold = RecommendService(index, ServiceConfig(k=k, cache_size=0))
+        warm = RecommendService(
+            index, ServiceConfig(k=k, cache_size=4 * n_requests))
 
-        cold = RecommendService(index, k=k, cache_size=0)
-        warm = RecommendService(index, k=k, cache_size=4 * n_requests)
+        if model is not None:
+            train_items = dataset.items_of_user(split.train)
 
-        with obs.trace("naive"):
-            naive = _timed_each(_naive, users)
+            def _naive(uid: int):
+                return model.recommend(
+                    int(uid), k=k, exclude=train_items.get(int(uid), ()))
+
+            with obs.trace("naive"):
+                naive = _timed_each(_naive, users)
         with obs.trace("indexed"):
             indexed = _timed_each(lambda u: cold.query(int(u)), users)
         with obs.trace("cached"):
             warm.query_batch(users)         # fill the cache
             cached = _timed_each(lambda u: warm.query(int(u)), users)
         with obs.trace("batched"):
-            batch_req = RecommendService(index, k=k, cache_size=0)
+            batch_req = RecommendService(
+                index, ServiceConfig(k=k, cache_size=0))
             batches = [users[s:s + batch_size]
                        for s in range(0, len(users), batch_size)]
             start = time.perf_counter()
@@ -104,13 +135,25 @@ def run_serve_benchmark(model_name: str = "LogiRec++",
             batched = {"qps": len(users) / wall,
                        "batch_size": batch_size,
                        "n_requests": int(len(users))}
+        degraded = None
+        if fail_rate > 0:
+            from repro.robust import FaultPlan, FaultSpec, FaultyIndex
 
-    speedup = naive["mean_ms"] / indexed["mean_ms"]
-    return {
+            plan = FaultPlan([FaultSpec("score_error", rate=fail_rate)],
+                             seed=seed)
+            shaky = RecommendService(FaultyIndex(index, plan),
+                                     ServiceConfig(k=k, cache_size=0))
+            with obs.trace("degraded"):
+                degraded = _timed_each(lambda u: shaky.query(int(u)),
+                                       users)
+            degraded["fail_rate"] = float(fail_rate)
+            degraded["stats"] = dict(shaky.stats)
+
+    results = {
         "model": model_name,
         "dataset": dataset_name,
-        "n_users": int(dataset.n_users),
-        "n_items": int(dataset.n_items),
+        "n_users": int(n_users),
+        "n_items": int(n_items),
         "k": k,
         "epochs": int(epochs),
         "index_kind": index.kind,
@@ -118,9 +161,13 @@ def run_serve_benchmark(model_name: str = "LogiRec++",
         "indexed": indexed,
         "cached": cached,
         "batched": batched,
-        "speedup_indexed_vs_naive": speedup,
+        "speedup_indexed_vs_naive": (
+            naive["mean_ms"] / indexed["mean_ms"] if naive else None),
         "cache_stats": warm.cache_info(),
     }
+    if degraded is not None:
+        results["degraded"] = degraded
+    return results
 
 
 def format_results(results: Dict[str, object]) -> str:
@@ -128,8 +175,10 @@ def format_results(results: Dict[str, object]) -> str:
         f"serve bench: {results['model']} on {results['dataset']} "
         f"({results['n_users']} users x {results['n_items']} items, "
         f"index kind={results['index_kind']}, k={results['k']})"]
-    for path in ("naive", "indexed", "cached"):
-        row = results[path]
+    for path in ("naive", "indexed", "cached", "degraded"):
+        row = results.get(path)
+        if row is None:
+            continue
         lines.append(
             f"{path:>8}: p50={row['p50_ms']:.3f}ms "
             f"p95={row['p95_ms']:.3f}ms p99={row['p99_ms']:.3f}ms "
@@ -137,6 +186,8 @@ def format_results(results: Dict[str, object]) -> str:
     batched = results["batched"]
     lines.append(f" batched: {batched['qps']:.0f} qps at "
                  f"batch_size={batched['batch_size']}")
-    lines.append(f"speedup (indexed vs naive single request): "
-                 f"{results['speedup_indexed_vs_naive']:.1f}x")
+    speedup = results.get("speedup_indexed_vs_naive")
+    if speedup is not None:
+        lines.append(f"speedup (indexed vs naive single request): "
+                     f"{speedup:.1f}x")
     return "\n".join(lines)

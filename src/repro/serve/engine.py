@@ -1,25 +1,37 @@
 """Online inference engine over a :class:`~repro.serve.RetrievalIndex`.
 
-:class:`RecommendService` handles single and batched top-K requests:
+:class:`RecommendService` handles single and batched top-K requests,
+configured by one :class:`~repro.serve.ServiceConfig`:
 
-* **Micro-batching** — a batch request computes every uncached user's
-  exact score row, masks all seen items in one vectorized CSR pass, and
-  ranks the whole batch with one :func:`~repro.eval.metrics.topk_indices`
-  call.  Masking and top-K are shape-invariant, so batching them keeps
-  results bit-identical to the single-request path (scoring itself stays
-  per-row; see :mod:`repro.serve.index` for why).
+* **Micro-batching** — a batch request scores every uncached user's
+  exact row, masks all seen items in one vectorized CSR pass per chunk,
+  and ranks with one :func:`~repro.eval.metrics.topk_indices` call.
+  Scoring stays per-row (see :mod:`repro.serve.index` for why), so
+  batching is shape-invariant and results are bit-identical to the
+  single-request path.
 * **LRU response cache** — bounded, keyed ``(user_id, k)``, with hit /
   miss counters.  ``cache_size=0`` disables it.
-* **Graceful degradation** — a user id outside ``[0, n_users)`` never
-  raises; it gets the global popularity top-K and is counted as a
-  fallback.
+* **Resilience** — every scoring call is guarded by the config's
+  :class:`~repro.robust.policies.RetryPolicy` (retry with exponential
+  backoff, per-request deadline) behind an error-rate
+  :class:`~repro.robust.CircuitBreaker`.  A request whose scoring
+  ultimately fails — or arrives while the breaker is open — degrades to
+  the configured fallback (stale index and/or popularity) instead of
+  erroring: the engine's contract is that ``query_batch`` returns a
+  valid ranked list for **every** request, and failures surface in
+  counters, not exceptions.
+* **Graceful degradation for unknown users** — a user id outside
+  ``[0, n_users)`` never raises; it gets the global popularity top-K
+  and is counted as a fallback.
 
-Every request path is instrumented through :mod:`repro.obs` (spans,
-counters, and a latency histogram), all no-ops unless a run is active.
+Every request path is instrumented through :mod:`repro.obs` (spans and
+counters), all no-ops unless a run is active.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence
 
@@ -27,41 +39,80 @@ import numpy as np
 
 from repro import obs
 from repro.eval.metrics import topk_indices
+from repro.robust.breaker import CircuitBreaker
+from repro.serve.config import ServiceConfig
 from repro.serve.index import RetrievalIndex
+
+LOG = obs.get_logger(__name__)
 
 
 class RecommendService:
-    """Batched top-K recommendation over a frozen index.
+    """Batched, fault-tolerant top-K recommendation over a frozen index.
 
     Parameters
     ----------
     index:
-        The offline :class:`RetrievalIndex`.
-    k:
-        Default list length per request.
-    cache_size:
-        Maximum cached responses (LRU eviction); ``0`` disables caching.
-    exclude_seen:
-        Mask each user's training items out of their ranking (the same
-        policy the evaluator applies).
+        The offline :class:`RetrievalIndex` (or any object with its
+        scoring/mask/popularity surface, e.g. a fault-injection proxy).
+    config:
+        The :class:`~repro.serve.ServiceConfig`; defaults apply when
+        omitted.
+    fallback_index:
+        Optional stale :class:`RetrievalIndex` consulted when
+        ``config.fallback == "stale_index"`` and primary scoring fails.
+    k, cache_size, exclude_seen:
+        Deprecated PR4-era keywords, kept as a shim; pass a
+        :class:`~repro.serve.ServiceConfig` instead.
     """
 
-    def __init__(self, index: RetrievalIndex, k: int = 10,
-                 cache_size: int = 1024, exclude_seen: bool = True):
+    def __init__(self, index: RetrievalIndex,
+                 config: Optional[ServiceConfig] = None, *,
+                 fallback_index: Optional[RetrievalIndex] = None,
+                 k: Optional[int] = None, cache_size: Optional[int] = None,
+                 exclude_seen: Optional[bool] = None):
+        legacy = {name: value for name, value in
+                  (("k", k), ("cache_size", cache_size),
+                   ("exclude_seen", exclude_seen)) if value is not None}
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either a ServiceConfig or the legacy "
+                    f"keywords, not both (got config and {sorted(legacy)})")
+            warnings.warn(
+                "RecommendService(index, k=..., cache_size=..., "
+                "exclude_seen=...) is deprecated; pass "
+                "RecommendService(index, ServiceConfig(...)) instead",
+                DeprecationWarning, stacklevel=2)
+            config = ServiceConfig(**legacy)
+        self.config = config if config is not None else ServiceConfig()
         self.index = index
-        self.k = int(k)
-        self.cache_size = int(cache_size)
-        self.exclude_seen = bool(exclude_seen)
+        self.fallback_index = fallback_index
+        self.breaker = CircuitBreaker(self.config.breaker)
         self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self.stats: Dict[str, int] = {
             "requests": 0, "cache_hits": 0, "cache_misses": 0,
-            "fallbacks": 0}
+            "fallbacks": 0, "degraded": 0, "scoring_failures": 0,
+            "retries": 0, "timeouts": 0, "breaker_opens": 0,
+            "breaker_short_circuits": 0, "stale_index_hits": 0}
+
+    # -- deprecated attribute surface (reads forward to the config) ----
+    @property
+    def k(self) -> int:
+        return self.config.k
+
+    @property
+    def cache_size(self) -> int:
+        return self.config.cache_size
+
+    @property
+    def exclude_seen(self) -> bool:
+        return self.config.exclude_seen
 
     # ------------------------------------------------------------------
     # Cache
     # ------------------------------------------------------------------
     def _cache_get(self, key) -> Optional[np.ndarray]:
-        if self.cache_size <= 0:
+        if self.config.cache_size <= 0:
             return None
         items = self._cache.get(key)
         if items is not None:
@@ -69,12 +120,117 @@ class RecommendService:
         return items
 
     def _cache_put(self, key, items: np.ndarray) -> None:
-        if self.cache_size <= 0:
+        if self.config.cache_size <= 0:
             return
         self._cache[key] = items
         self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_size:
+        while len(self._cache) > self.config.cache_size:
             self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Guarded scoring (retry + deadline + breaker bookkeeping)
+    # ------------------------------------------------------------------
+    def _score_guarded(self, uid: int) -> Optional[np.ndarray]:
+        """One user's exact score row, or None after the retry budget.
+
+        Failures counted here: exceptions out of the index and calls
+        that blow the per-request deadline (the engine cannot preempt a
+        running numpy kernel, so the deadline is checked after the
+        fact — injected delays and real stalls both register).  The
+        request's *final* outcome feeds the circuit breaker exactly
+        once.
+        """
+        policy = self.config.retry
+        for attempt in range(policy.retries + 1):
+            if attempt:
+                self.stats["retries"] += 1
+                obs.count("serve/retries")
+                if policy.backoff_s > 0:
+                    time.sleep(policy.backoff_s * (2 ** (attempt - 1)))
+            start = time.perf_counter()
+            try:
+                row = self.index.score_user(uid)
+            except Exception as exc:
+                self.stats["scoring_failures"] += 1
+                obs.count("serve/scoring_failures")
+                LOG.warning("scoring user %d failed (attempt %d/%d): %s",
+                            uid, attempt + 1, policy.retries + 1, exc)
+                continue
+            if (policy.timeout_s is not None
+                    and time.perf_counter() - start > policy.timeout_s):
+                self.stats["timeouts"] += 1
+                self.stats["scoring_failures"] += 1
+                obs.count("serve/timeouts")
+                obs.count("serve/scoring_failures")
+                continue
+            self._record_outcome(True)
+            return row
+        self._record_outcome(False)
+        return None
+
+    def _record_outcome(self, ok: bool) -> None:
+        if self.breaker.record(ok):
+            self.stats["breaker_opens"] += 1
+            obs.count("serve/breaker_opens")
+            LOG.warning("circuit breaker opened after repeated scoring "
+                        "failures (cooldown: %d requests)",
+                        self.config.breaker.cooldown)
+
+    # ------------------------------------------------------------------
+    # Fallbacks
+    # ------------------------------------------------------------------
+    def _popularity_items(self, uid: Optional[int], k: int) -> np.ndarray:
+        """Popularity top-K; seen items masked for known users."""
+        popularity = self.index.popularity
+        if (uid is None or not self.config.exclude_seen
+                or not 0 <= uid < self.index.n_users):
+            return popularity[:k].astype(np.int64)
+        seen = set(int(i) for i in self.index.seen_items(uid))
+        unseen = [int(i) for i in popularity if int(i) not in seen]
+        items = unseen[:k]
+        if len(items) < k:
+            # Tiny catalogs: pad with the most popular seen items so the
+            # list is still k long and duplicate-free.
+            items += [int(i) for i in popularity
+                      if int(i) not in items][:k - len(items)]
+        return np.asarray(items, dtype=np.int64)
+
+    def _degraded_items(self, uid: int, k: int) -> "tuple[np.ndarray, str]":
+        """Best available ranking when primary scoring is unavailable."""
+        if (self.config.fallback == "stale_index"
+                and self.fallback_index is not None):
+            try:
+                scores = self.fallback_index.score_user(uid).copy()
+                if self.config.exclude_seen:
+                    seen = self.fallback_index.seen_items(uid)
+                    scores[seen] = -np.inf
+                self.stats["stale_index_hits"] += 1
+                obs.count("serve/stale_index_hits")
+                return topk_indices(scores, k).astype(np.int64), \
+                    "stale_index"
+            except Exception as exc:
+                LOG.warning("stale-index fallback failed for user %d: "
+                            "%s; using popularity", uid, exc)
+        return self._popularity_items(uid, k), "popularity"
+
+    def _fallback_response(self, uid: int, k: int,
+                           degraded: bool) -> Dict[str, object]:
+        """A valid ranked response without fresh primary scores.
+
+        ``degraded=False`` is the unknown-user path (policy, not
+        failure): raw popularity, exactly as PR4 served it.
+        """
+        self.stats["fallbacks"] += 1
+        obs.count("serve/fallbacks")
+        if degraded:
+            self.stats["degraded"] += 1
+            obs.count("serve/degraded")
+            items, source = self._degraded_items(uid, k)
+        else:
+            items, source = self.index.popularity[:k], "popularity"
+        return {"user_id": uid, "items": [int(i) for i in items],
+                "cached": False, "fallback": True, "degraded": degraded,
+                "source": source}
 
     # ------------------------------------------------------------------
     # Queries
@@ -89,14 +245,18 @@ class RecommendService:
 
         Returns one dict per request, in request order::
 
-            {"user_id": int, "items": [int, ...],
-             "cached": bool, "fallback": bool}
+            {"user_id": int, "items": [int, ...], "cached": bool,
+             "fallback": bool, "degraded": bool, "source": str}
 
-        Known users get exactly what ``model.recommend(u, k,
-        exclude=<train items>)`` returns on the live model; unknown users
-        get the popularity fallback.
+        ``source`` is one of ``"index"``, ``"cache"``, ``"popularity"``,
+        ``"stale_index"``.  Known users whose scoring succeeds get
+        exactly what ``model.recommend(u, k, exclude=<train items>)``
+        returns on the live model; unknown users get the popularity
+        fallback; scoring failures and an open breaker degrade to the
+        configured fallback.  Every request gets a ranked list — the
+        engine never lets a scoring exception escape.
         """
-        k = self.k if k is None else int(k)
+        k = self.config.k if k is None else int(k)
         user_ids = [int(u) for u in user_ids]
         with obs.trace("serve/query_batch", n_requests=len(user_ids),
                        k=k):
@@ -106,45 +266,69 @@ class RecommendService:
             for pos, uid in enumerate(user_ids):
                 self.stats["requests"] += 1
                 if not 0 <= uid < self.index.n_users:
-                    self.stats["fallbacks"] += 1
-                    results[pos] = {
-                        "user_id": uid,
-                        "items": [int(i) for i in
-                                  self.index.popularity[:k]],
-                        "cached": False, "fallback": True}
+                    results[pos] = self._fallback_response(uid, k,
+                                                           degraded=False)
                     continue
                 cached = self._cache_get((uid, k))
                 if cached is not None:
                     self.stats["cache_hits"] += 1
                     results[pos] = {"user_id": uid,
                                     "items": [int(i) for i in cached],
-                                    "cached": True, "fallback": False}
+                                    "cached": True, "fallback": False,
+                                    "degraded": False, "source": "cache"}
                 else:
                     self.stats["cache_misses"] += 1
                     to_score.append(pos)
-            if to_score:
-                batch = np.array([user_ids[pos] for pos in to_score],
+            scored_pos: List[int] = []
+            rows: List[np.ndarray] = []
+            for pos in to_score:
+                uid = user_ids[pos]
+                if not self.breaker.allow():
+                    self.stats["breaker_short_circuits"] += 1
+                    obs.count("serve/breaker_short_circuits")
+                    results[pos] = self._fallback_response(uid, k,
+                                                           degraded=True)
+                    continue
+                row = self._score_guarded(uid)
+                if row is None:
+                    results[pos] = self._fallback_response(uid, k,
+                                                           degraded=True)
+                else:
+                    scored_pos.append(pos)
+                    rows.append(row)
+            chunk = self.config.batch_size
+            for start in range(0, len(scored_pos), chunk):
+                positions = scored_pos[start:start + chunk]
+                batch = np.array([user_ids[pos] for pos in positions],
                                  dtype=np.int64)
-                scores = self.index.score_batch(batch, mode="exact")
-                if self.exclude_seen:
-                    rows, cols = self.index.mask_coords(batch)
-                    scores[rows, cols] = -np.inf
+                scores = np.stack(rows[start:start + chunk])
+                if self.config.exclude_seen:
+                    mask_rows, mask_cols = self.index.mask_coords(batch)
+                    scores[mask_rows, mask_cols] = -np.inf
                 topk = topk_indices(scores, k)
-                for row, pos in enumerate(to_score):
+                for row_i, pos in enumerate(positions):
                     uid = user_ids[pos]
-                    items = topk[row].astype(np.int64)
+                    items = topk[row_i].astype(np.int64)
                     self._cache_put((uid, k), items)
                     results[pos] = {"user_id": uid,
                                     "items": [int(i) for i in items],
-                                    "cached": False, "fallback": False}
+                                    "cached": False, "fallback": False,
+                                    "degraded": False, "source": "index"}
             if obs.enabled():
                 obs.count("serve/requests", len(user_ids))
-                obs.count("serve/scored_users", len(to_score))
+                obs.count("serve/scored_users", len(scored_pos))
                 obs.observe("serve/batch_size", float(len(user_ids)))
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
         """Current cache occupancy plus the lifetime counters."""
-        return {"size": len(self._cache), "capacity": self.cache_size,
-                **self.stats}
+        return {"size": len(self._cache),
+                "capacity": self.config.cache_size, **self.stats}
+
+    def health(self) -> Dict[str, object]:
+        """Breaker state + counters, the shape a /health endpoint wants."""
+        return {"breaker": self.breaker.snapshot(),
+                "cache": {"size": len(self._cache),
+                          "capacity": self.config.cache_size},
+                "stats": dict(self.stats)}

@@ -1,0 +1,126 @@
+"""The ServableModel contract, checked registry-wide.
+
+:class:`repro.models.ServableModel` is the formal API between the model
+zoo and everything downstream of training (checkpoints, the retrieval
+index, the robustness machinery).  These tests pin both halves of the
+contract:
+
+* **structure** — every registry model subclasses the ABC and implements
+  all four hooks (no abstract leftovers), and the ABC actually rejects
+  non-conforming classes at instantiation time;
+* **semantics** — ``state_dict`` round-trips bit-exactly through
+  ``load_state_dict`` and is strict about unknown/missing/mis-shaped
+  keys, ``export_extra_init`` is JSON-serializable scalars, and
+  ``export_scoring`` names a kind the retrieval index can build.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate_dataset, temporal_split
+from repro.experiments.runner import ALL_MODEL_NAMES, build_model
+from repro.models import Recommender, ServableModel
+from repro.serve.index import _KIND_SLOTS
+
+HOOKS = ("state_dict", "load_state_dict", "export_extra_init",
+         "export_scoring")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = generate_dataset(SyntheticConfig(n_users=30, n_items=45,
+                                          depth=3, branching=3,
+                                          mean_interactions=8.0, seed=11))
+    return ds, temporal_split(ds)
+
+
+class TestContractStructure:
+    def test_abc_is_not_instantiable(self):
+        with pytest.raises(TypeError):
+            ServableModel()
+
+    def test_partial_implementation_rejected(self):
+        class Halfway(ServableModel):
+            def state_dict(self):
+                return {}
+
+            def load_state_dict(self, arrays):
+                pass
+
+        with pytest.raises(TypeError):
+            Halfway()
+
+    def test_recommender_is_servable(self):
+        assert issubclass(Recommender, ServableModel)
+
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_registry_model_implements_every_hook(self, setup, name):
+        ds, _ = setup
+        model = build_model(name, ds, seed=0)
+        assert isinstance(model, ServableModel)
+        for hook in HOOKS:
+            impl = getattr(type(model), hook)
+            assert not getattr(impl, "__isabstractmethod__", False), (
+                f"{name}.{hook} is still abstract")
+
+
+class TestContractSemantics:
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_state_dict_round_trip_and_strictness(self, setup, name):
+        ds, split = setup
+        model = build_model(name, ds, seed=0)
+        model.config.epochs = 1
+        model.fit(ds, split)
+        snapshot = model.state_dict()
+        assert snapshot, f"{name} exports an empty state_dict"
+        for key, value in snapshot.items():
+            assert isinstance(value, np.ndarray)
+            position, _, pname = key.partition(":")
+            assert position.isdigit() and pname, (
+                f"{name} state key {key!r} is not '<position>:<name>'")
+
+        twin = build_model(name, ds, seed=1)
+        twin.load_state_dict(snapshot)
+        users = np.arange(ds.n_users)
+        twin.prepare(ds, split)
+        assert np.array_equal(model.score_users(users),
+                              twin.score_users(users))
+
+        bad = dict(snapshot)
+        bad["999:bogus"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            build_model(name, ds, seed=0).load_state_dict(bad)
+        first = next(iter(snapshot))
+        short = dict(snapshot)
+        short[first] = snapshot[first].ravel()[:1]
+        with pytest.raises(ValueError):
+            build_model(name, ds, seed=0).load_state_dict(short)
+
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_export_extra_init_is_json_scalars(self, setup, name):
+        ds, _ = setup
+        extra = build_model(name, ds, seed=0).export_extra_init()
+        assert isinstance(extra, dict)
+        json.dumps(extra)          # must survive checkpoint.json
+        for key, value in extra.items():
+            assert isinstance(value, (int, float, str, bool)), (
+                f"{name}.export_extra_init[{key!r}] is {type(value)}")
+
+    @pytest.mark.parametrize("name", ALL_MODEL_NAMES)
+    def test_export_scoring_names_buildable_kind(self, setup, name):
+        ds, split = setup
+        model = build_model(name, ds, seed=0)
+        model.config.epochs = 1
+        model.fit(ds, split)
+        spec = model.export_scoring()
+        kind = spec.get("kind")
+        assert kind in _KIND_SLOTS, (
+            f"{name} exports unknown scoring kind {kind!r}")
+        arrays = {key for key, value in spec.items()
+                  if key != "kind"
+                  and not isinstance(value, (int, float, bool))}
+        assert set(_KIND_SLOTS[kind]) <= arrays, (
+            f"{name} kind {kind!r} missing slots "
+            f"{set(_KIND_SLOTS[kind]) - arrays}")

@@ -21,8 +21,8 @@ import pytest
 from repro.data import SyntheticConfig, generate_dataset, temporal_split
 from repro.experiments.runner import ALL_MODEL_NAMES, build_model
 from repro.serve import (CheckpointError, IndexFormatError,
-                         RecommendService, build_index, load_checkpoint,
-                         load_index, save_checkpoint)
+                         RecommendService, ServiceConfig, build_index,
+                         load_checkpoint, load_index, save_checkpoint)
 
 
 @pytest.fixture(scope="module")
@@ -143,8 +143,8 @@ class TestIndexAndEngine:
         train_items = ds.items_of_user(split.train)
         users = list(range(0, ds.n_users, 5))
         for cache_size in (0, 128):
-            service = RecommendService(index, k=10,
-                                       cache_size=cache_size)
+            service = RecommendService(
+                index, ServiceConfig(k=10, cache_size=cache_size))
             responses = service.query_batch(users)
             for uid, response in zip(users, responses):
                 live = model.recommend(uid, 10,
@@ -162,7 +162,7 @@ class TestIndexAndEngine:
         ds, split = setup
         model = _trained("BPRMF", ds, split)
         index = build_index(model, ds, split)
-        service = RecommendService(index, k=5)
+        service = RecommendService(index, ServiceConfig(k=5))
         for bad in (-1, ds.n_users, 10**9):
             response = service.query(bad)
             assert response["fallback"]
@@ -174,7 +174,8 @@ class TestIndexAndEngine:
         ds, split = setup
         model = _trained("BPRMF", ds, split)
         index = build_index(model, ds, split)
-        service = RecommendService(index, k=5, cache_size=4)
+        service = RecommendService(index, ServiceConfig(k=5,
+                                                        cache_size=4))
         service.query_batch(range(8))
         info = service.cache_info()
         assert info["size"] == 4
