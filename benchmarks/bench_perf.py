@@ -4,7 +4,10 @@ Times full-ranking evaluation (users/s), negative sampling (triplets/s),
 and the train step (ms/step) for LogiRec++ and LightGCN, comparing the
 vectorized implementations against the pre-vectorization reference loops
 that are kept on the classes (``Evaluator._reference_evaluate``,
-``TripletSampler._reference_is_positive``).  Results go to
+``TripletSampler._reference_is_positive``).  The train step is timed
+under both tensor backends (``reference`` and ``fast``; see
+``repro.tensor.backend``) and the fast-over-reference speedup is
+recorded and floored by ``test_perf_hot_paths``.  Results go to
 ``BENCH_perf.json`` at the repository root so future PRs have a
 machine-readable trajectory to beat; see DESIGN.md § Performance for how
 to read it.
@@ -129,35 +132,51 @@ def bench_sampling(dataset, split, batch_size: int = 4096
     }
 
 
-def bench_train_step(dataset, split, model_names=("LogiRec++", "LightGCN")
-                     ) -> Dict[str, Dict[str, float]]:
-    """Latency of one optimize step (loss + backward + update) per model."""
+def _time_train_step(dataset, split, name: str) -> Dict[str, float]:
+    """Latency of one optimize step (loss + backward + update) under the
+    *active* backend."""
     from repro.data.sampling import TripletSampler
     from repro.experiments.runner import build_model
 
-    out: Dict[str, Dict[str, float]] = {}
+    model = build_model(name, dataset, seed=0)
+    model.prepare(dataset, split)
+    sampler = TripletSampler(dataset, split.train,
+                             rng=np.random.default_rng(0),
+                             n_negatives=model.config.n_negatives)
+    users, pos, neg = next(sampler.epoch(model.config.batch_size))
+    optimizer = model.make_optimizer()
+
+    def _step():
+        optimizer.zero_grad()
+        loss = model.batch_loss(users, pos, neg)
+        loss.backward()
+        optimizer.step()
+
+    _step()  # warm-up (adjacency caches, arena growth, lazy allocations)
+    t = _best_time(_step, TRAIN_STEPS)
+    return {
+        "batch_triplets": int(len(users)),
+        "ms_per_step": 1e3 * t,
+        "steps_per_s": 1.0 / t,
+    }
+
+
+def bench_train_step(dataset, split, model_names=("LogiRec++", "LightGCN")
+                     ) -> Dict[str, Dict[str, object]]:
+    """Per-backend train-step latency + fast-over-reference speedup."""
+    from repro.tensor import use_backend
+
+    out: Dict[str, Dict[str, object]] = {}
     for name in model_names:
-        model = build_model(name, dataset, seed=0)
-        model.prepare(dataset, split)
-        sampler = TripletSampler(dataset, split.train,
-                                 rng=np.random.default_rng(0),
-                                 n_negatives=model.config.n_negatives)
-        users, pos, neg = next(sampler.epoch(model.config.batch_size))
-        optimizer = model.make_optimizer()
-
-        def _step():
-            optimizer.zero_grad()
-            loss = model.batch_loss(users, pos, neg)
-            loss.backward()
-            optimizer.step()
-
-        _step()  # warm-up (adjacency caches, lazy allocations)
-        t = _best_time(_step, TRAIN_STEPS)
-        out[name] = {
-            "batch_triplets": int(len(users)),
-            "ms_per_step": 1e3 * t,
-            "steps_per_s": 1.0 / t,
-        }
+        row: Dict[str, object] = {}
+        for backend in ("reference", "fast"):
+            with use_backend(backend):
+                timing = _time_train_step(dataset, split, name)
+            row["batch_triplets"] = timing.pop("batch_triplets")
+            row[backend] = timing
+        row["speedup"] = (row["fast"]["steps_per_s"]
+                          / row["reference"]["steps_per_s"])
+        out[name] = row
     return out
 
 
@@ -203,6 +222,32 @@ def bench_obs_overhead(dataset, split, batch_size: int = 4096
         "sampler_drain_disabled_s": t_disabled,
         "sampler_drain_enabled_s": t_enabled,
         "enabled_over_disabled": t_enabled / t_disabled,
+    }
+
+
+def _environment_meta() -> Dict[str, object]:
+    """Backend + numpy + BLAS provenance for the bench record.
+
+    Perf numbers are meaningless without knowing what ran them: the
+    active backend(s), the numpy version, and which BLAS numpy linked
+    against (OpenBLAS vs reference BLAS can alone explain a 3x swing in
+    the matmul-heavy paths).
+    """
+    from repro.tensor import available_backends, get_backend
+
+    blas = "unknown"
+    try:
+        cfg = np.show_config(mode="dicts")
+        blas = cfg.get("Build Dependencies", {}).get(
+            "blas", {}).get("name", "unknown")
+    except (TypeError, AttributeError):
+        pass  # older numpy without dict-mode show_config
+    return {
+        "backend_default": get_backend().name,
+        "backends_timed": list(available_backends()),
+        "numpy": np.__version__,
+        "blas": blas,
+        "cpu_count": os.cpu_count(),
     }
 
 
@@ -272,6 +317,7 @@ def run_perf_suite(write: bool = False) -> Dict[str, object]:
             "n_users": dataset.n_users,
             "n_items": dataset.n_items,
             "n_interactions": dataset.n_interactions,
+            **_environment_meta(),
         }
         with tracer.span("evaluation"):
             results["evaluation"] = bench_evaluation(dataset, split)
@@ -303,8 +349,13 @@ def _format(results: Dict[str, object]) -> str:
         f"{sa['speedup']:.1f}x",
     ]
     for name, row in results["train_step"].items():
-        lines.append(f"train step: {name}: {row['ms_per_step']:.1f} ms "
-                     f"({row['steps_per_s']:.1f} steps/s)")
+        ref, fast = row["reference"], row["fast"]
+        lines.append(
+            f"train step: {name}: fast {fast['ms_per_step']:.1f} ms "
+            f"({fast['steps_per_s']:.1f} steps/s), reference "
+            f"{ref['ms_per_step']:.1f} ms "
+            f"({ref['steps_per_s']:.1f} steps/s) — "
+            f"{row['speedup']:.1f}x")
     obs_oh = results.get("obs_overhead")
     if obs_oh:
         lines.append(
@@ -338,6 +389,15 @@ def test_perf_hot_paths(benchmark, artifact):
     min_sample = 4.0 if FAST else 10.0
     assert results["evaluation"]["speedup"] >= min_eval
     assert results["sampling"]["speedup"] >= min_sample
+    # Backend regression floor: the fast backend must hold at least 2x
+    # train-step throughput on LogiRec++ (typically measured ~3.5x at
+    # default scale; small fast-mode batches amortize less overhead, so
+    # the floor relaxes there).
+    min_backend = 1.3 if FAST else 2.0
+    speedup = results["train_step"]["LogiRec++"]["speedup"]
+    assert speedup >= min_backend, (
+        f"fast backend regressed: LogiRec++ train-step speedup "
+        f"{speedup:.2f}x < {min_backend}x floor")
 
 
 if __name__ == "__main__":

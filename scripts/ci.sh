@@ -11,7 +11,10 @@
 #              complete; a killed run must resume to completion;
 #              injected scoring failures must degrade to fallbacks
 #              with zero unhandled exceptions; a corrupted checkpoint
-#              must be rejected.
+#              must be rejected;
+#   6. backend — a 2-epoch train on the fast tensor backend must run
+#              end to end and agree with the reference backend's
+#              losses within tolerance on a tiny config.
 #
 # Usage: bash scripts/ci.sh            (from the repo root)
 set -euo pipefail
@@ -88,6 +91,36 @@ grep -q "all responses valid" "$smoke_dir/f4.txt"
 python -m repro robust inject checkpoint "$smoke_dir/rck" \
     > "$smoke_dir/f5.txt"
 grep -q "corruption detected" "$smoke_dir/f5.txt"
+echo "ok"
+
+echo "== fast-backend smoke =="
+# End-to-end CLI train on the fast backend must succeed...
+python -m repro train BPRMF --dataset cd --epochs 2 --backend fast \
+    > "$smoke_dir/b1.txt"
+grep -q "recall" "$smoke_dir/b1.txt"
+# ...and fast-vs-reference per-epoch losses must agree on a tiny config.
+python - <<'EOF'
+import numpy as np
+from repro.data import SyntheticConfig, generate_dataset, temporal_split
+from repro.models import HGCF, TrainConfig
+from repro.tensor import use_backend
+
+ds = generate_dataset(SyntheticConfig(n_users=40, n_items=60, depth=3,
+                                      branching=3, mean_interactions=10.0,
+                                      seed=4))
+split = temporal_split(ds)
+losses = {}
+for backend in ("reference", "fast"):
+    with use_backend(backend):
+        model = HGCF(ds.n_users, ds.n_items,
+                     TrainConfig(dim=8, epochs=2, batch_size=1024,
+                                 lr=0.01, margin=0.5, n_negatives=1,
+                                 seed=0))
+        model.fit(ds, split)
+        losses[backend] = np.asarray(model.loss_history)
+np.testing.assert_allclose(losses["fast"], losses["reference"],
+                           rtol=1e-4)
+EOF
 echo "ok"
 
 echo "== all gates passed =="

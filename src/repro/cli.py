@@ -21,6 +21,13 @@ accepts ``--checkpoint-dir`` (auto-checkpoint every N epochs with
 NaN/divergence rollback) and ``--resume`` (continue a killed run from
 its auto-checkpoint, bit-identically).
 
+``train``, ``compare``, ``ablation``, and ``cases`` accept ``--backend
+{reference,fast}`` to pick the tensor execution backend (see
+``repro.tensor.backend``): ``reference`` is the bit-identical float64
+engine, ``fast`` enables float32 compute with fused hyperbolic kernels
+(~3-4x train-step throughput, metrics equal within tolerance).  The
+``REPRO_BACKEND`` environment variable sets the default.
+
 This module is the presentation layer: its ``print`` calls are the
 command output and are allowlisted by the ``scripts/ci.sh`` lint gate;
 library diagnostics go through ``repro.obs.get_logger`` instead.
@@ -39,6 +46,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int, default=None,
                         help="override the tuned epoch budget")
     parser.add_argument("--seed", type=int, default=0)
+    _add_backend(parser)
+
+
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None,
+                        choices=["reference", "fast"],
+                        help="tensor execution backend (default: "
+                             "REPRO_BACKEND env var, else 'reference')")
 
 
 def _add_telemetry(parser: argparse.ArgumentParser) -> None:
@@ -114,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--datasets", nargs="*", default=["ciao", "cd"])
     compare.add_argument("--epochs", type=int, default=None)
     compare.add_argument("--seeds", nargs="*", type=int, default=[0])
+    _add_backend(compare)
     _add_telemetry(compare)
 
     ablation = sub.add_parser("ablation", help="Table-III ablations")
@@ -495,6 +511,9 @@ COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        from repro.tensor import set_backend
+        set_backend(args.backend)
     try:
         return COMMANDS[args.command](args)
     except BrokenPipeError:

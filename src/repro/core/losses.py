@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.manifolds import Lorentz
 from repro.tensor import Tensor, clamp_min, gather_rows, norm
+from repro.tensor import backend as _be
 
 TagBalls = Tuple[Tensor, Tensor]
 
@@ -93,12 +94,24 @@ def recommendation_loss(user_emb: Tensor, pos_emb: Tensor, neg_emb: Tensor,
     gradient diverges there, which in practice stalls RSGD (see
     :meth:`repro.manifolds.Lorentz.sqdist`).
     """
+    return _be.kernel("losses.lorentz_triplet")(
+        user_emb, pos_emb, neg_emb, margin, user_weights)
+
+
+def _lorentz_triplet_reference(user_emb: Tensor, pos_emb: Tensor,
+                               neg_emb: Tensor, margin: float,
+                               user_weights: Optional[np.ndarray] = None
+                               ) -> Tensor:
     d_pos = Lorentz.sqdist(user_emb, pos_emb)
     d_neg = Lorentz.sqdist(user_emb, neg_emb)
     hinge = clamp_min(margin + d_pos - d_neg, 0.0)
     if user_weights is not None:
         hinge = hinge * Tensor(np.asarray(user_weights, dtype=np.float64))
     return hinge.mean()
+
+
+_be.register_kernel("losses.lorentz_triplet",
+                    reference=_lorentz_triplet_reference)
 
 
 def euclidean_recommendation_loss(user_emb: Tensor, pos_emb: Tensor,

@@ -64,6 +64,8 @@ def neg_sq_dist_scores(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     models and the serving index: both sides call this function, so the
     precomputed-index scores are bit-identical to the live models'.
     """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
     sq = (np.sum(u * u, axis=1, keepdims=True) - 2.0 * u @ v.T
           + np.sum(v * v, axis=1))
     return -sq
@@ -71,6 +73,8 @@ def neg_sq_dist_scores(u: np.ndarray, v: np.ndarray) -> np.ndarray:
 
 def neg_dist_scores(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     """``-||u_b - v_i||`` score matrix (TransC, Euclidean LogiRec)."""
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
     sq = (np.sum(u * u, axis=1, keepdims=True) - 2.0 * u @ v.T
           + np.sum(v * v, axis=1))
     return -np.sqrt(np.maximum(sq, 0.0))

@@ -19,6 +19,7 @@ from repro import obs
 from repro.manifolds.base import Manifold
 from repro.tensor import (Tensor, arcosh, cat, clamp, clamp_min, cosh, norm,
                           sinh, sqrt)
+from repro.tensor import backend as _be
 
 _MIN_NORM = 1e-15
 _MAX_TANGENT_NORM = 10.0   # per-step / per-map tangent length bound
@@ -55,7 +56,7 @@ class Lorentz(Manifold):
     @staticmethod
     def distance(x: Tensor, y: Tensor) -> Tensor:
         """Lorentzian distance ``arcosh(-<x, y>_L)`` (Eq. 9's metric)."""
-        return arcosh(-Lorentz.inner(x, y))
+        return _be.kernel("lorentz.distance")(x, y)
 
     @staticmethod
     def sqdist(x: Tensor, y: Tensor) -> Tensor:
@@ -68,7 +69,7 @@ class Lorentz(Manifold):
         on the hyperboloid stable.  Ranking losses in this repo use it;
         scoring may use either (they induce the same ranking).
         """
-        return -2.0 - 2.0 * Lorentz.inner(x, y)
+        return _be.kernel("lorentz.sqdist")(x, y)
 
     @staticmethod
     def tangent_norm(v: Tensor) -> Tensor:
@@ -85,15 +86,7 @@ class Lorentz(Manifold):
 
         log_o(x) = arcosh(-<o, x>_L) * (x + <o, x>_L o) / ||x + <o, x>_L o||_L
         """
-        # <o, x>_L = -x0, so x + <o, x>_L o zeroes the time coordinate.
-        x0 = x[..., 0:1]
-        spatial = x[..., 1:]
-        dist = arcosh(clamp_min(x0, 1.0))  # arcosh(-<o,x>_L) = arcosh(x0)
-        spatial_norm = norm(spatial, axis=-1, keepdims=True)
-        safe = clamp_min(spatial_norm, _MIN_NORM)
-        scaled = dist * spatial / safe
-        zeros = Tensor(np.zeros(x.data[..., 0:1].shape))
-        return cat([zeros, scaled], axis=-1)
+        return _be.kernel("lorentz.logmap0")(x)
 
     @staticmethod
     def expmap0(v: Tensor) -> Tensor:
@@ -104,14 +97,7 @@ class Lorentz(Manifold):
         ``v`` is tangent at the origin (time coordinate 0), so
         ``||v||_L`` equals the Euclidean norm of its spatial part.
         """
-        spatial = v[..., 1:]
-        v_norm = norm(spatial, axis=-1, keepdims=True)
-        # Clip to avoid cosh overflow for runaway embeddings during training.
-        v_norm_c = clamp(v_norm, 0.0, _MAX_TANGENT_NORM)
-        safe = clamp_min(v_norm, _MIN_NORM)
-        time = cosh(v_norm_c)
-        space = sinh(v_norm_c) * spatial / safe
-        return cat([time, space], axis=-1)
+        return _be.kernel("lorentz.expmap0")(v)
 
     @staticmethod
     def dist_to_origin(x: Tensor) -> Tensor:
@@ -210,5 +196,49 @@ def lorentz_ranking_scores(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     ``1 + 1e-12``: near-coincident pairs collapse to exact score ties,
     which the shared top-K helper then breaks by ascending item id.
     """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
     inner = u[:, 1:] @ v[:, 1:].T - np.outer(u[:, 0], v[:, 0])
     return -np.arccosh(np.maximum(-inner, 1.0 + 1e-12))
+
+
+# ----------------------------------------------------------------------
+# Reference kernel bodies — the original composed-op implementations,
+# registered so the backend dispatcher can fall back to them.  The fast
+# variants (hand-derived VJPs) live in repro.tensor.fused.
+# ----------------------------------------------------------------------
+def _distance_reference(x: Tensor, y: Tensor) -> Tensor:
+    return arcosh(-Lorentz.inner(x, y))
+
+
+def _sqdist_reference(x: Tensor, y: Tensor) -> Tensor:
+    return -2.0 - 2.0 * Lorentz.inner(x, y)
+
+
+def _logmap0_reference(x: Tensor) -> Tensor:
+    # <o, x>_L = -x0, so x + <o, x>_L o zeroes the time coordinate.
+    x0 = x[..., 0:1]
+    spatial = x[..., 1:]
+    dist = arcosh(clamp_min(x0, 1.0))  # arcosh(-<o,x>_L) = arcosh(x0)
+    spatial_norm = norm(spatial, axis=-1, keepdims=True)
+    safe = clamp_min(spatial_norm, _MIN_NORM)
+    scaled = dist * spatial / safe
+    zeros = Tensor(np.zeros(x.data[..., 0:1].shape))
+    return cat([zeros, scaled], axis=-1)
+
+
+def _expmap0_reference(v: Tensor) -> Tensor:
+    spatial = v[..., 1:]
+    v_norm = norm(spatial, axis=-1, keepdims=True)
+    # Clip to avoid cosh overflow for runaway embeddings during training.
+    v_norm_c = clamp(v_norm, 0.0, _MAX_TANGENT_NORM)
+    safe = clamp_min(v_norm, _MIN_NORM)
+    time = cosh(v_norm_c)
+    space = sinh(v_norm_c) * spatial / safe
+    return cat([time, space], axis=-1)
+
+
+_be.register_kernel("lorentz.distance", reference=_distance_reference)
+_be.register_kernel("lorentz.sqdist", reference=_sqdist_reference)
+_be.register_kernel("lorentz.logmap0", reference=_logmap0_reference)
+_be.register_kernel("lorentz.expmap0", reference=_expmap0_reference)

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.tensor import Tensor, cat, clamp_min
+from repro.tensor import backend as _be
 
 _MIN_NORM = 1e-15
 
@@ -27,11 +28,19 @@ def poincare_to_lorentz(x: Tensor) -> Tensor:
 
     p^{-1}(x) = (1 + ||x||^2, 2 x1, ..., 2 xd) / (1 - ||x||^2)
     """
+    return _be.kernel("maps.poincare_to_lorentz")(x)
+
+
+def _poincare_to_lorentz_reference(x: Tensor) -> Tensor:
     sq_norm = (x * x).sum(axis=-1, keepdims=True)
     denom = clamp_min(1.0 - sq_norm, _MIN_NORM)
     time = (1.0 + sq_norm) / denom
     spatial = (2.0 * x) / denom
     return cat([time, spatial], axis=-1)
+
+
+_be.register_kernel("maps.poincare_to_lorentz",
+                    reference=_poincare_to_lorentz_reference)
 
 
 def lorentz_to_poincare_np(x: np.ndarray) -> np.ndarray:

@@ -16,6 +16,7 @@ import numpy as np
 from repro import obs
 from repro.manifolds.base import Manifold
 from repro.tensor import Tensor, arcosh, clamp_min, norm, tanh
+from repro.tensor import backend as _be
 
 # Maximum norm kept strictly inside the open unit ball.  1e-5 of slack keeps
 # the conformal factor (1 - ||x||^2) comfortably above float64 noise.
@@ -37,21 +38,12 @@ class PoincareBall(Manifold):
 
         d_P(x, y) = arcosh(1 + 2 ||x-y||^2 / ((1-||x||^2)(1-||y||^2))).
         """
-        diff_sq = ((x - y) ** 2).sum(axis=-1)
-        x_sq = (x * x).sum(axis=-1)
-        y_sq = (y * y).sum(axis=-1)
-        denom = clamp_min((1.0 - x_sq) * (1.0 - y_sq), _MIN_NORM)
-        return arcosh(1.0 + 2.0 * diff_sq / denom)
+        return _be.kernel("poincare.distance")(x, y)
 
     @staticmethod
     def mobius_add(x: Tensor, y: Tensor) -> Tensor:
         """Mobius addition ``x (+) y`` (gyro-vector addition, Eq. 17)."""
-        xy = (x * y).sum(axis=-1, keepdims=True)
-        x_sq = (x * x).sum(axis=-1, keepdims=True)
-        y_sq = (y * y).sum(axis=-1, keepdims=True)
-        numerator = (1.0 + 2.0 * xy + y_sq) * x + (1.0 - x_sq) * y
-        denominator = clamp_min(1.0 + 2.0 * xy + x_sq * y_sq, _MIN_NORM)
-        return numerator / denominator
+        return _be.kernel("poincare.mobius_add")(x, y)
 
     @staticmethod
     def expmap(x: Tensor, v: Tensor) -> Tensor:
@@ -74,9 +66,7 @@ class PoincareBall(Manifold):
     @staticmethod
     def expmap0(v: Tensor) -> Tensor:
         """Exponential map at the origin: ``tanh(||v||) v/||v||``."""
-        v_norm = norm(v, axis=-1, keepdims=True)
-        safe = clamp_min(v_norm, _MIN_NORM)
-        return tanh(v_norm) * (v / safe)
+        return _be.kernel("poincare.expmap0")(v)
 
     @staticmethod
     def dist_to_origin(x: Tensor) -> Tensor:
@@ -154,9 +144,43 @@ def poincare_ranking_scores(u: np.ndarray, v: np.ndarray) -> np.ndarray:
     live model; the item-side ``||v||^2`` terms are what the index
     precomputes.
     """
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
     diff_sq = (np.sum(u * u, axis=1, keepdims=True) - 2.0 * u @ v.T
                + np.sum(v * v, axis=1))
     denom = np.outer(1.0 - np.sum(u * u, axis=1),
                      1.0 - np.sum(v * v, axis=1))
     arg = 1.0 + 2.0 * diff_sq / np.maximum(denom, 1e-15)
     return -np.arccosh(np.maximum(arg, 1.0 + 1e-15))
+
+
+# ----------------------------------------------------------------------
+# Reference kernel bodies (original composed-op code); fast variants are
+# the hand-derived VJPs in repro.tensor.fused.
+# ----------------------------------------------------------------------
+def _distance_reference(x: Tensor, y: Tensor) -> Tensor:
+    diff_sq = ((x - y) ** 2).sum(axis=-1)
+    x_sq = (x * x).sum(axis=-1)
+    y_sq = (y * y).sum(axis=-1)
+    denom = clamp_min((1.0 - x_sq) * (1.0 - y_sq), _MIN_NORM)
+    return arcosh(1.0 + 2.0 * diff_sq / denom)
+
+
+def _mobius_add_reference(x: Tensor, y: Tensor) -> Tensor:
+    xy = (x * y).sum(axis=-1, keepdims=True)
+    x_sq = (x * x).sum(axis=-1, keepdims=True)
+    y_sq = (y * y).sum(axis=-1, keepdims=True)
+    numerator = (1.0 + 2.0 * xy + y_sq) * x + (1.0 - x_sq) * y
+    denominator = clamp_min(1.0 + 2.0 * xy + x_sq * y_sq, _MIN_NORM)
+    return numerator / denominator
+
+
+def _expmap0_reference(v: Tensor) -> Tensor:
+    v_norm = norm(v, axis=-1, keepdims=True)
+    safe = clamp_min(v_norm, _MIN_NORM)
+    return tanh(v_norm) * (v / safe)
+
+
+_be.register_kernel("poincare.distance", reference=_distance_reference)
+_be.register_kernel("poincare.mobius_add", reference=_mobius_add_reference)
+_be.register_kernel("poincare.expmap0", reference=_expmap0_reference)

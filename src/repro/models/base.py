@@ -40,6 +40,7 @@ from repro.data.sampling import TripletSampler
 from repro.eval.metrics import topk_indices
 from repro.optim.parameter import Parameter
 from repro.tensor import Tensor, no_grad
+from repro.tensor import backend as _backend
 
 LOG = obs.get_logger(__name__)
 
@@ -181,7 +182,8 @@ class Recommender(ServableModel):
         """
         with obs.trace("fit", model=type(self).__name__,
                        epochs=self.config.epochs,
-                       batch_size=self.config.batch_size):
+                       batch_size=self.config.batch_size,
+                       backend=_backend.get_backend().name):
             with obs.trace("prepare"):
                 self.prepare(dataset, split)
             sampler = TripletSampler(dataset, split.train, rng=self.rng,
@@ -288,6 +290,11 @@ class Recommender(ServableModel):
                 p.data for p in self.parameters())
             obs.gauge_set("train/grad_norm_epoch", grad_norm)
             obs.gauge_set("train/param_norm", param_norm)
+            arena = _backend.arena_stats()
+            if arena is not None:
+                obs.gauge_set("backend/arena/buffers", arena["buffers"])
+                obs.gauge_set("backend/arena/bytes", arena["bytes"])
+                obs.gauge_set("backend/arena/hit_rate", arena["hit_rate"])
             epoch_span.annotate(
                 n_batches=n_batches, loss_mean=round(mean_loss, 6),
                 loss_min=round(min(batch_losses), 6) if batch_losses else None,

@@ -22,8 +22,10 @@ class Parameter(Tensor):
 
     def __init__(self, data, manifold: Optional[Manifold] = None,
                  name: str = ""):
+        # Parameters are float64 masters regardless of the active backend:
+        # the fast backend casts per-op, checkpoints stay backend-agnostic.
         super().__init__(np.asarray(data, dtype=np.float64),
-                         requires_grad=True, name=name)
+                         requires_grad=True, name=name, dtype=np.float64)
         self.manifold = manifold if manifold is not None else Euclidean()
 
     @classmethod

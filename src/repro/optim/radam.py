@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.optim.parameter import Parameter
 from repro.optim.sgd import Optimizer
+from repro.tensor import backend as _backend
 
 
 class RiemannianAdam(Optimizer):
@@ -51,6 +52,10 @@ class RiemannianAdam(Optimizer):
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
+        backend = _backend.get_backend()
+        if backend.arena is not None:
+            self._step_inplace(bias1, bias2, backend.arena)
+            return
         for p, m, v in zip(self.params, self._m, self._v):
             grad = p.grad
             if grad is None or not np.isfinite(grad).all():
@@ -73,3 +78,37 @@ class RiemannianAdam(Optimizer):
             # update on-manifold).
             step = p.manifold.proj_tangent(p.data, step)
             p.data[...] = p.manifold.retract(p.data, -step)
+
+    def _step_inplace(self, bias1: float, bias2: float,
+                      arena: "_backend.Arena") -> None:
+        """Fast-backend variant: same math as :meth:`step`, staged through
+        persistent scratch buffers to avoid per-parameter temporaries."""
+        for i, (p, m, v) in enumerate(zip(self.params, self._m, self._v)):
+            grad = p.grad
+            if grad is None or not np.isfinite(grad).all():
+                continue
+            rgrad = p.manifold.egrad2rgrad(p.data, grad)
+            if self.max_grad_norm is not None:
+                nrm = np.linalg.norm(rgrad)
+                if nrm > self.max_grad_norm:
+                    if rgrad is grad:
+                        rgrad = rgrad * (self.max_grad_norm / nrm)
+                    else:
+                        rgrad *= self.max_grad_norm / nrm
+            s1 = arena.scratch(("radam", id(self), i, 0), m.shape, m.dtype)
+            s2 = arena.scratch(("radam", id(self), i, 1), m.shape, m.dtype)
+            np.multiply(rgrad, 1.0 - self.beta1, out=s1)
+            m *= self.beta1
+            m += s1
+            np.multiply(rgrad, 1.0 - self.beta2, out=s1)
+            s1 *= rgrad
+            v *= self.beta2
+            v += s1
+            np.divide(v, bias2, out=s1)
+            np.sqrt(s1, out=s1)
+            s1 += self.eps
+            np.divide(m, bias1, out=s2)
+            s2 /= s1
+            s2 *= -self.lr
+            step = p.manifold.proj_tangent(p.data, s2)
+            p.data[...] = p.manifold.retract(p.data, step)

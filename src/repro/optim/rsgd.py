@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.optim.parameter import Parameter
 from repro.optim.sgd import Optimizer
+from repro.tensor import backend as _backend
 
 
 class RiemannianSGD(Optimizer):
@@ -44,6 +45,16 @@ class RiemannianSGD(Optimizer):
             # factor of egrad2rgrad would tame it — clipping before the
             # conversion freezes boundary points instead of moving them.
             rgrad = p.manifold.egrad2rgrad(p.data, grad)
+            if _backend.get_backend().fused and rgrad is not grad:
+                # rgrad is a fresh temporary: scale it in place instead of
+                # materializing -lr * rgrad (and the clip factor) anew.
+                if self.max_grad_norm is not None:
+                    nrm = np.linalg.norm(rgrad)
+                    if nrm > self.max_grad_norm:
+                        rgrad *= self.max_grad_norm / nrm
+                rgrad *= -self.lr
+                p.data[...] = p.manifold.retract(p.data, rgrad)
+                continue
             if self.max_grad_norm is not None:
                 nrm = np.linalg.norm(rgrad)
                 if nrm > self.max_grad_norm:

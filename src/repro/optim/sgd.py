@@ -7,6 +7,7 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.optim.parameter import Parameter
+from repro.tensor import backend as _backend
 
 
 class Optimizer:
@@ -20,6 +21,9 @@ class Optimizer:
         self.max_grad_norm = max_grad_norm
 
     def zero_grad(self) -> None:
+        # Step boundary: lets the fast backend's arena rewind its buffer
+        # cursors so this step's activations reuse last step's memory.
+        _backend.step_begin()
         for p in self.params:
             p.zero_grad()
 
@@ -142,6 +146,10 @@ class Adam(Optimizer):
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
+        backend = _backend.get_backend()
+        if backend.arena is not None:
+            self._step_inplace(bias1, bias2, backend.arena)
+            return
         for p, m, v in zip(self.params, self._m, self._v):
             grad = self._clipped_grad(p)
             if grad is None:
@@ -153,4 +161,30 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.data[...] = p.manifold.project(p.data)
+
+    def _step_inplace(self, bias1: float, bias2: float,
+                      arena: "_backend.Arena") -> None:
+        """Fast-backend Adam: same update, staged through two persistent
+        scratch buffers instead of four fresh temporaries per parameter."""
+        for i, (p, m, v) in enumerate(zip(self.params, self._m, self._v)):
+            grad = self._clipped_grad(p)
+            if grad is None:
+                continue
+            s1 = arena.scratch(("adam", id(self), i, 0), m.shape, m.dtype)
+            s2 = arena.scratch(("adam", id(self), i, 1), m.shape, m.dtype)
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
+            m *= self.beta1
+            m += s1
+            np.multiply(grad, 1.0 - self.beta2, out=s1)
+            s1 *= grad
+            v *= self.beta2
+            v += s1
+            np.divide(v, bias2, out=s1)
+            np.sqrt(s1, out=s1)
+            s1 += self.eps
+            np.divide(m, bias1, out=s2)
+            s2 /= s1
+            s2 *= self.lr
+            p.data -= s2
             p.data[...] = p.manifold.project(p.data)

@@ -9,8 +9,24 @@ sparse matrix-multiplication op used by the graph convolution layers
 Only the operations the recommendation models need are implemented, but each
 is implemented fully (forward + backward, with broadcasting support) and is
 unit- and property-tested against numerical differentiation.
+
+Execution is governed by a process-global backend
+(:mod:`repro.tensor.backend`): ``reference`` is the original float64
+engine and the bit-identity oracle; ``fast`` (``REPRO_BACKEND=fast``)
+switches intermediates to float32 and routes geometry hot spots through
+fused forward+backward kernels (:mod:`repro.tensor.fused`).
 """
 
+from repro.tensor.backend import (
+    arena_stats,
+    available_backends,
+    compute_dtype,
+    get_backend,
+    kernel,
+    register_kernel,
+    set_backend,
+    use_backend,
+)
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
 from repro.tensor.ops import (
     arcosh,
@@ -39,10 +55,21 @@ from repro.tensor.ops import (
 )
 from repro.tensor.sparse import sparse_matmul
 
+# Importing registers the fast-backend fused kernels with the registry.
+import repro.tensor.fused  # noqa: E402,F401  (import for side effect)
+
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "arena_stats",
+    "available_backends",
+    "compute_dtype",
+    "get_backend",
+    "kernel",
+    "register_kernel",
+    "set_backend",
+    "use_backend",
     "arcosh",
     "cat",
     "clamp",

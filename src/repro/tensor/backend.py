@@ -1,0 +1,326 @@
+"""Pluggable execution backends for the tensor engine.
+
+The autograd engine in :mod:`repro.tensor.tensor` is deliberately simple:
+one numpy node per op, float64 everywhere.  That simplicity is also the
+train-step bottleneck (BENCH_perf.json), so this module introduces a
+*backend* abstraction with exactly two implementations:
+
+``reference``
+    The engine as it has always been: float64 compute, generic composed
+    ops, fresh allocations.  It is the bit-identity oracle — nothing in
+    this module may change a single ULP of its results.
+
+``fast``
+    Opt-in via ``REPRO_BACKEND=fast`` or ``--backend fast``:
+
+    * float32 compute for intermediates, while :class:`~repro.optim.
+      Parameter` masters, leaf-gradient accumulation, and optimizer
+      state stay float64 (checkpoints are backend-agnostic);
+    * fused forward+backward kernels (:mod:`repro.tensor.fused`) for
+      the fixed op chains of hyperbolic geometry, selected through the
+      kernel registry below;
+    * a per-step :class:`Arena` that recycles activation/gradient
+      buffers across steps instead of reallocating;
+    * an optionally threaded ``scipy.sparse`` matmul
+      (:mod:`repro.tensor.sparse`) for GCN aggregation.
+
+A backend is process-global (like grad mode): models, manifolds and
+optimizers read it at call time, so a model *trained* under one backend
+can be *scored* under another — parameters are float64 either way.
+
+Kernel registry
+---------------
+Geometry hot spots register a reference implementation (the original
+composed-op code) and optionally a fast one::
+
+    register_kernel("lorentz.sqdist", reference=_sqdist_ref)
+    register_kernel("lorentz.sqdist", fast=fused_sqdist)     # elsewhere
+
+Call sites fetch ``kernel("lorentz.sqdist")`` per invocation; under the
+reference backend the fast entry is invisible.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Arena",
+    "Backend",
+    "arena_stats",
+    "available_backends",
+    "compute_dtype",
+    "get_backend",
+    "kernel",
+    "register_kernel",
+    "scatter_add_rows",
+    "set_backend",
+    "step_begin",
+    "use_backend",
+]
+
+
+class Arena:
+    """Per-step buffer pool keyed by ``(shape, dtype)``.
+
+    ``empty(shape, dtype)`` hands out an uninitialized buffer; calling
+    :meth:`new_step` (done by ``Optimizer.zero_grad``) rewinds every
+    pool's cursor so the next step reuses the same memory.  Buffers from
+    step *t* may therefore be overwritten during step *t + 1* — callers
+    must only put graph-lifetime values (activations, gradients) in
+    arena buffers, never anything that outlives the step.  The fused
+    kernels enforce this by falling back to ``np.empty`` whenever grad
+    recording is off (export/eval paths keep references to outputs).
+
+    :meth:`scratch` is a separate persistent pool for optimizer work
+    buffers: the same key always returns the same array.
+    """
+
+    __slots__ = ("_pools", "_scratch", "hits", "misses")
+
+    def __init__(self) -> None:
+        # key -> [cursor, [buffers]]
+        self._pools: Dict[Tuple, List] = {}
+        self._scratch: Dict[Tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def new_step(self) -> None:
+        """Rewind all pools; previously handed-out buffers become reusable."""
+        for slot in self._pools.values():
+            slot[0] = 0
+
+    def empty(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """An uninitialized ``(shape, dtype)`` buffer, reused across steps."""
+        key = (shape, np.dtype(dtype).char)
+        slot = self._pools.get(key)
+        if slot is None:
+            slot = self._pools[key] = [0, []]
+        cursor, buffers = slot
+        if cursor < len(buffers):
+            slot[0] = cursor + 1
+            self.hits += 1
+            return buffers[cursor]
+        buf = np.empty(shape, dtype=dtype)
+        buffers.append(buf)
+        slot[0] = cursor + 1
+        self.misses += 1
+        return buf
+
+    def scratch(self, key: Tuple, shape: Tuple[int, ...],
+                dtype) -> np.ndarray:
+        """A persistent named work buffer (same key -> same array)."""
+        buf = self._scratch.get(key)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != dtype:
+            buf = self._scratch[key] = np.empty(shape, dtype=dtype)
+        return buf
+
+    def stats(self) -> Dict[str, float]:
+        n_buffers = sum(len(slot[1]) for slot in self._pools.values())
+        nbytes = sum(b.nbytes for slot in self._pools.values()
+                     for b in slot[1])
+        total = self.hits + self.misses
+        return {
+            "buffers": n_buffers,
+            "bytes": nbytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+
+class Backend:
+    """Execution policy: compute dtype, kernel set, arena, thread budget."""
+
+    __slots__ = ("name", "dtype", "fused", "arena", "threads")
+
+    def __init__(self, name: str, dtype: np.dtype, fused: bool,
+                 arena: Optional[Arena], threads: int):
+        self.name = name
+        self.dtype = np.dtype(dtype)
+        self.fused = fused
+        self.arena = arena
+        self.threads = int(threads)
+
+    def __repr__(self) -> str:
+        return (f"Backend(name={self.name!r}, dtype={self.dtype.name}, "
+                f"fused={self.fused}, threads={self.threads})")
+
+
+def _default_threads() -> int:
+    """Thread budget for the fast backend's sparse matmul.
+
+    ``REPRO_BACKEND_THREADS`` overrides; otherwise use up to 4 cores but
+    never oversubscribe — on a single-core box this resolves to 1 and
+    the threaded spmm path stays dormant.
+    """
+    env = os.environ.get("REPRO_BACKEND_THREADS", "")
+    if env:
+        return max(1, int(env))
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def _make_backend(name: str) -> Backend:
+    if name == "reference":
+        return Backend("reference", np.float64, fused=False, arena=None,
+                       threads=1)
+    if name == "fast":
+        return Backend("fast", np.float32, fused=True, arena=Arena(),
+                       threads=_default_threads())
+    raise ValueError(f"unknown backend {name!r}; "
+                     f"available: {available_backends()}")
+
+
+def available_backends() -> Tuple[str, ...]:
+    return ("reference", "fast")
+
+
+_ACTIVE: Optional[Backend] = None
+_LOCK = threading.Lock()
+
+
+def get_backend() -> Backend:
+    """The active backend (resolving ``REPRO_BACKEND`` on first use)."""
+    backend = _ACTIVE
+    if backend is None:
+        with _LOCK:
+            backend = _ACTIVE
+            if backend is None:
+                backend = _make_backend(
+                    os.environ.get("REPRO_BACKEND") or "reference")
+                _set_active(backend)
+    return backend
+
+
+def _set_active(backend: Backend) -> None:
+    global _ACTIVE
+    _ACTIVE = backend
+
+
+def set_backend(name: str) -> Backend:
+    """Switch the process-global backend; returns the new one."""
+    backend = _make_backend(name)
+    _set_active(backend)
+    return backend
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Temporarily switch backends (tests, per-phase overrides)."""
+    previous = get_backend()
+    backend = _make_backend(name)
+    _set_active(backend)
+    try:
+        yield backend
+    finally:
+        _set_active(previous)
+
+
+def compute_dtype() -> np.dtype:
+    """Dtype for newly created tensors / op intermediates."""
+    return get_backend().dtype
+
+
+def step_begin() -> None:
+    """Start-of-step hook (called by ``Optimizer.zero_grad``)."""
+    arena = get_backend().arena
+    if arena is not None:
+        arena.new_step()
+
+
+def arena_stats() -> Optional[Dict[str, float]]:
+    """Arena telemetry for the active backend (``None`` if it has none)."""
+    arena = get_backend().arena
+    return arena.stats() if arena is not None else None
+
+
+# ----------------------------------------------------------------------
+# Kernel registry
+# ----------------------------------------------------------------------
+_KERNELS: Dict[str, Dict[str, Callable]] = {}
+
+
+def register_kernel(name: str, reference: Optional[Callable] = None,
+                    fast: Optional[Callable] = None) -> None:
+    """Register implementations for a named kernel (merging per variant)."""
+    entry = _KERNELS.setdefault(name, {})
+    if reference is not None:
+        entry["reference"] = reference
+    if fast is not None:
+        entry["fast"] = fast
+
+
+def kernel(name: str) -> Callable:
+    """Resolve ``name`` for the active backend.
+
+    The fast variant is used only when the active backend asks for fused
+    kernels *and* one is registered; everything else falls back to the
+    reference implementation, so partially fused backends degrade
+    gracefully.
+    """
+    entry = _KERNELS[name]
+    if get_backend().fused:
+        fast = entry.get("fast")
+        if fast is not None:
+            return fast
+    return entry["reference"]
+
+
+def registered_kernels() -> Dict[str, Tuple[str, ...]]:
+    """{kernel name: available variants} — introspection for tests/docs."""
+    return {name: tuple(sorted(entry)) for name, entry in _KERNELS.items()}
+
+
+# ----------------------------------------------------------------------
+# Shared primitives with per-backend implementations
+# ----------------------------------------------------------------------
+# (batch, dtype.char) -> (ones, indptr) for the one-hot scatter matrix.
+_SCATTER_CACHE: Dict[Tuple[int, str], Tuple[np.ndarray, np.ndarray]] = {}
+
+try:  # raw CSC matmul kernel; absent on exotic scipy builds
+    from scipy.sparse import _sparsetools as _sptools
+except ImportError:  # pragma: no cover - scipy always ships it today
+    _sptools = None
+
+
+def scatter_add_rows(grad: np.ndarray, index: np.ndarray,
+                     shape: Tuple[int, ...]) -> np.ndarray:
+    """Adjoint of a row gather: scatter-add ``grad`` rows into ``shape``.
+
+    The reference path is ``np.zeros`` + ``np.add.at`` — bit-identical
+    to the original engine but slow (``add.at`` is unbuffered).  The
+    fast path expresses the scatter as ``M @ grad`` with ``M`` the
+    one-hot (n, batch) selection matrix, run as a single C CSC-matmul
+    loop ~10x faster; since ``M``'s columns each hold one entry and
+    arrive in order, its CSC arrays are free to build (indptr = arange,
+    indices = the gather index) and ``csc_matvecs`` is invoked directly
+    to skip matrix-construction validation, which profiles at ~half the
+    scatter cost.  Per-cell summation order differs from ``add.at``,
+    which is within the fast backend's tolerance policy (float32
+    compute already reorders sums) but would break reference
+    bit-identity — hence the gate.
+    """
+    if (get_backend().fused and _sptools is not None
+            and grad.ndim == 2 and len(shape) == 2):
+        batch = len(index)
+        key = (batch, grad.dtype.char)
+        cached = _SCATTER_CACHE.get(key)
+        if cached is None:
+            cached = _SCATTER_CACHE[key] = (
+                np.ones(batch, dtype=grad.dtype),
+                np.arange(batch + 1, dtype=np.int64))
+        ones, indptr = cached
+        indices = np.ascontiguousarray(index, dtype=np.int64)
+        grad = np.ascontiguousarray(grad)
+        out = np.zeros(shape, dtype=grad.dtype)
+        _sptools.csc_matvecs(shape[0], batch, shape[1], indptr, indices,
+                             ones, grad, out)
+        return out
+    out = np.zeros(shape, dtype=grad.dtype)
+    np.add.at(out, index, grad)
+    return out

@@ -12,10 +12,19 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.tensor import backend as _backend
 from repro.tensor.tensor import Tensor, _as_array
 
 # Stays strictly inside arcosh's domain while being far above float64 eps.
 _ARCOSH_EPS = 1e-12
+# float32 machine epsilon is ~1.19e-7: the float64 clamp would round to
+# exactly 1.0 (making the backward 1/sqrt(x^2-1) infinite), so float32
+# inputs clamp at 1 + 1e-6 instead.
+_ARCOSH_EPS_F32 = 1e-6
+
+
+def _arcosh_eps(dtype) -> float:
+    return _ARCOSH_EPS if dtype == np.float64 else _ARCOSH_EPS_F32
 
 
 def _wrap(value) -> Tensor:
@@ -76,7 +85,7 @@ def arcosh(x: Tensor) -> Tensor:
     bounds the backward, the standard trick in hyperbolic embedding code.
     """
     x = _wrap(x)
-    clamped = np.maximum(x.data, 1.0 + _ARCOSH_EPS)
+    clamped = np.maximum(x.data, 1.0 + _arcosh_eps(x.data.dtype))
     data = np.arccosh(clamped)
     denom = np.sqrt(clamped * clamped - 1.0)
 
@@ -92,7 +101,7 @@ def arcosh(x: Tensor) -> Tensor:
 
 def relu(x: Tensor) -> Tensor:
     x = _wrap(x)
-    mask = (x.data > 0).astype(np.float64)
+    mask = (x.data > 0).astype(x.data.dtype)
     return Tensor._make(x.data * mask, (x,), lambda g: (g * mask,))
 
 
@@ -106,7 +115,7 @@ def softplus(x: Tensor) -> Tensor:
 def clamp_min(x: Tensor, minimum: float) -> Tensor:
     """Elementwise ``max(x, minimum)``; gradient is zero where clamped."""
     x = _wrap(x)
-    mask = (x.data >= minimum).astype(np.float64)
+    mask = (x.data >= minimum).astype(x.data.dtype)
     data = np.maximum(x.data, minimum)
     return Tensor._make(data, (x,), lambda g: (g * mask,))
 
@@ -116,7 +125,7 @@ def clamp(x: Tensor, minimum: Optional[float] = None,
     x = _wrap(x)
     lo = -np.inf if minimum is None else minimum
     hi = np.inf if maximum is None else maximum
-    mask = ((x.data >= lo) & (x.data <= hi)).astype(np.float64)
+    mask = ((x.data >= lo) & (x.data <= hi)).astype(x.data.dtype)
     data = np.clip(x.data, lo, hi)
     return Tensor._make(data, (x,), lambda g: (g * mask,))
 
@@ -126,7 +135,7 @@ def maximum(a: Tensor, b) -> Tensor:
     a = _wrap(a)
     b = _wrap(b)
     data = np.maximum(a.data, b.data)
-    mask_a = (a.data >= b.data).astype(np.float64)
+    mask_a = (a.data >= b.data).astype(a.data.dtype)
 
     def backward(g):
         return g * mask_a, g * (1.0 - mask_a)
@@ -181,7 +190,7 @@ def norm(x: Tensor, axis: int = -1, keepdims: bool = False,
     data = nrm if keepdims else np.squeeze(nrm, axis=axis)
 
     def backward(g):
-        g = np.asarray(g, dtype=np.float64)
+        g = np.asarray(g)
         if not keepdims:
             g = np.expand_dims(g, axis)
         return (g * x.data / safe,)
@@ -201,7 +210,7 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
         data = np.squeeze(data, axis=axis)
 
     def backward(g):
-        g = np.asarray(g, dtype=np.float64)
+        g = np.asarray(g)
         if not keepdims:
             g = np.expand_dims(g, axis)
         return (g * softmax,)
@@ -220,13 +229,15 @@ def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
     """
     x = _wrap(x)
     idx = np.asarray(index, dtype=np.int64)
-    data = x.data[idx]
+    # np.take == x.data[idx] bit-for-bit but skips the fancy-indexing
+    # dispatch overhead on the embedding-lookup hot path.
+    data = np.take(x.data, idx, axis=0)
     shape = x.data.shape
 
     def backward(g):
-        out = np.zeros(shape, dtype=np.float64)
-        np.add.at(out, idx, g)
-        return (out,)
+        # Reference: zeros + unbuffered np.add.at (bit-identical oracle).
+        # Fast backend: one linearized np.bincount (see backend module).
+        return (_backend.scatter_add_rows(g, idx, shape),)
 
     return Tensor._make(data, (x,), backward)
 

@@ -5,14 +5,110 @@ Graph convolution layers repeatedly compute ``A @ X`` where ``A`` is a fixed
 requires grad.  The adjoint is ``A.T @ dY``.  ``A`` itself is never a
 learnable parameter in any of the reproduced models, so no gradient flows
 into it.
+
+Under the ``reference`` backend this is exactly the original op: CSR
+conversion and a fresh transpose per call, float64 throughout.  The
+``fast`` backend adds a per-matrix *plan* cached on the adjacency object:
+the CSR cast to the compute dtype, the transposed CSR (built once, not
+per forward), and — when the backend has a thread budget and the product
+is large enough to amortize dispatch — disjoint row slabs that a shared
+thread pool multiplies into one preallocated output.  On a single-core
+machine the thread budget resolves to 1 and the slab path stays dormant.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import threading
+from typing import List, Optional, Tuple
+
 import numpy as np
 import scipy.sparse as sp
 
+from repro.tensor import backend as _backend
 from repro.tensor.tensor import Tensor
+
+# Minimum output elements / stored entries before row-slab threading can
+# win over its dispatch overhead.
+_THREAD_MIN_OUT = 1 << 16
+_THREAD_MIN_NNZ = 1 << 14
+
+_CACHE_ATTR = "_repro_spmm_plan"
+
+_pool_lock = threading.Lock()
+_pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+_pool_size = 0
+
+
+def _executor(threads: int) -> concurrent.futures.ThreadPoolExecutor:
+    global _pool, _pool_size
+    with _pool_lock:
+        if _pool is None or _pool_size < threads:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix="repro-spmm")
+            _pool_size = threads
+        return _pool
+
+
+class _SpmmPlan:
+    """Precomputed forward/backward operators for one adjacency matrix."""
+
+    __slots__ = ("dtype", "threads", "csr", "csr_t", "blocks", "blocks_t")
+
+    def __init__(self, csr: sp.csr_matrix, dtype: np.dtype, threads: int):
+        self.dtype = dtype
+        self.threads = threads
+        self.csr = csr.astype(dtype, copy=False)
+        self.csr_t = self.csr.T.tocsr()
+        self.blocks = self._slabs(self.csr)
+        self.blocks_t = self._slabs(self.csr_t)
+
+    def _slabs(self, csr: sp.csr_matrix
+               ) -> Optional[List[Tuple[int, int, sp.csr_matrix]]]:
+        if self.threads <= 1 or csr.nnz < _THREAD_MIN_NNZ:
+            return None
+        rows = csr.shape[0]
+        n_blocks = min(self.threads, rows)
+        bounds = np.linspace(0, rows, n_blocks + 1, dtype=np.int64)
+        return [(int(r0), int(r1), csr[r0:r1])
+                for r0, r1 in zip(bounds[:-1], bounds[1:]) if r1 > r0]
+
+    def _apply(self, csr: sp.csr_matrix,
+               blocks: Optional[List[Tuple[int, int, sp.csr_matrix]]],
+               dense: np.ndarray) -> np.ndarray:
+        if (blocks is not None
+                and csr.shape[0] * dense.shape[-1] >= _THREAD_MIN_OUT):
+            out = np.empty((csr.shape[0], dense.shape[1]),
+                           dtype=np.result_type(self.dtype, dense.dtype))
+
+            def work(block):
+                r0, r1, sub = block
+                out[r0:r1] = sub @ dense
+
+            list(_executor(self.threads).map(work, blocks))
+            return out
+        return csr @ dense
+
+    def forward(self, dense: np.ndarray) -> np.ndarray:
+        return self._apply(self.csr, self.blocks, dense)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self._apply(self.csr_t, self.blocks_t, grad)
+
+
+def _plan_for(matrix: sp.spmatrix, csr: sp.csr_matrix,
+              backend: "_backend.Backend") -> _SpmmPlan:
+    plan = getattr(matrix, _CACHE_ATTR, None)
+    if (plan is None or plan.dtype != backend.dtype
+            or plan.threads != backend.threads):
+        plan = _SpmmPlan(csr, backend.dtype, backend.threads)
+        try:
+            setattr(matrix, _CACHE_ATTR, plan)
+        except AttributeError:
+            pass  # exotic matrix types without a __dict__: just rebuild
+    return plan
 
 
 def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
@@ -31,6 +127,11 @@ def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
     if csr.shape[1] != x.data.shape[0]:
         raise ValueError(
             f"shape mismatch: {csr.shape} @ {x.data.shape}")
+    backend = _backend.get_backend()
+    if backend.fused:
+        plan = _plan_for(matrix, csr, backend)
+        data = plan.forward(x.data)
+        return Tensor._make(data, (x,), lambda g: (plan.backward(g),))
     data = np.asarray(csr @ x.data, dtype=np.float64)
     csr_t = csr.T.tocsr()
 

@@ -5,9 +5,15 @@ operation records its parents and a backward closure on the result tensor.
 Calling :meth:`Tensor.backward` topologically sorts the graph and accumulates
 gradients into ``.grad`` of every leaf with ``requires_grad=True``.
 
-All data is stored as ``float64`` numpy arrays.  Hyperbolic geometry is
-numerically delicate (``arcosh`` near 1, Poincare norms near 1), so we do not
-trade precision for speed.
+Data is stored in the *compute dtype* of the active backend
+(:mod:`repro.tensor.backend`): float64 under the ``reference`` backend —
+hyperbolic geometry is numerically delicate (``arcosh`` near 1, Poincare
+norms near 1), so the oracle engine does not trade precision for speed —
+and float32 under the opt-in ``fast`` backend.  Leaf tensors may pin an
+explicit ``dtype`` (:class:`repro.optim.Parameter` pins float64 so
+checkpoints and optimizer state are backend-agnostic); gradient
+accumulation into a leaf always casts to the leaf's dtype, giving
+float32 compute with float64 parameter/gradient masters.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import Callable, Iterable, Optional, Sequence, Union
 import numpy as np
 
 from repro import obs
+from repro.tensor import backend as _backend
 
 Scalar = Union[int, float, np.floating]
 ArrayLike = Union[Scalar, Sequence, np.ndarray, "Tensor"]
@@ -64,7 +71,7 @@ def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
 def _as_array(value: ArrayLike) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=_backend.compute_dtype())
 
 
 class Tensor:
@@ -73,18 +80,24 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything ``numpy.asarray`` accepts; stored as ``float64``.
+        Anything ``numpy.asarray`` accepts; stored in the active
+        backend's compute dtype unless ``dtype`` pins one explicitly.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` when
         :meth:`backward` is called on a downstream scalar.
+    dtype:
+        Explicit storage dtype; ``None`` (the default) uses the active
+        backend's compute dtype.  Parameters pin float64 regardless of
+        backend so model/optimizer state stays backend-agnostic.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
     __array_priority__ = 100  # make numpy defer to our __radd__ etc.
 
     def __init__(self, data: ArrayLike, requires_grad: bool = False,
-                 name: str = ""):
-        self.data = np.asarray(data, dtype=np.float64)
+                 name: str = "", dtype: Optional[np.dtype] = None):
+        self.data = np.asarray(
+            data, dtype=_backend.compute_dtype() if dtype is None else dtype)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -96,11 +109,17 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(data: np.ndarray, parents: Iterable["Tensor"],
-              backward: Callable[[np.ndarray], None]) -> "Tensor":
-        """Create a result tensor, wiring the graph only if grad is enabled."""
+              backward: Callable[[np.ndarray], None],
+              dtype=None) -> "Tensor":
+        """Create a result tensor, wiring the graph only if grad is enabled.
+
+        ``dtype`` pins the result dtype against the backend's compute
+        dtype — used by kernels whose output must stay float64 under the
+        fast backend (loss accumulation).
+        """
         parents = tuple(p for p in parents if isinstance(p, Tensor))
         needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data)
+        out = Tensor(data, dtype=dtype)
         if needs:
             out.requires_grad = True
             out._parents = parents
@@ -108,7 +127,12 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
-        """Add ``grad`` (already float64) into ``.grad``.
+        """Add ``grad`` into ``.grad``, cast to this leaf's dtype.
+
+        The cast is what implements mixed precision: under the fast
+        backend intermediates flow float32, but a float64 leaf (every
+        ``Parameter``) accumulates in float64.  Under the reference
+        backend everything is float64 already and the cast is a no-op.
 
         ``owned=True`` promises the caller holds the only reference to
         ``grad``, letting the first accumulation adopt the buffer instead
@@ -116,6 +140,9 @@ class Tensor:
         ``.grad`` is always a buffer this tensor owns.
         """
         grad = _unbroadcast(grad, self.data.shape)
+        if grad.dtype != self.data.dtype:
+            grad = grad.astype(self.data.dtype)
+            owned = True  # astype allocated a fresh buffer
         if self.grad is None:
             self.grad = grad if owned else grad.copy()
         else:
@@ -141,7 +168,7 @@ class Tensor:
             grad = np.ones_like(self.data)
             owned.add(id(self))  # freshly allocated: safe to mutate
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological order via iterative DFS (recursion would overflow on
         # deep graphs such as multi-layer GCNs unrolled over epochs).
@@ -208,8 +235,11 @@ class Tensor:
         for parent, pgrad in zip(self._parents, parent_grads):
             if pgrad is None:
                 continue
-            if not isinstance(pgrad, np.ndarray) or pgrad.dtype != np.float64:
-                pgrad = np.asarray(pgrad, dtype=np.float64)
+            if not isinstance(pgrad, np.ndarray):
+                # Closures return ndarrays on every hot path; this guards
+                # scalar edge cases.  The gradient keeps the dtype it was
+                # computed in — leaves cast on accumulation.
+                pgrad = np.asarray(pgrad, dtype=grad.dtype)
             pgrad = _unbroadcast(pgrad, parent.data.shape)
             pid = id(parent)
             if pid not in grads:
@@ -226,7 +256,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut off from the graph."""
-        return Tensor(self.data)
+        return Tensor(self.data, dtype=self.data.dtype)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -368,7 +398,7 @@ class Tensor:
         shape = self.data.shape
 
         def backward(g):
-            out = np.zeros(shape, dtype=np.float64)
+            out = np.zeros(shape, dtype=g.dtype)
             np.add.at(out, index, g)
             return (out,)
 
@@ -382,7 +412,7 @@ class Tensor:
         shape = self.data.shape
 
         def backward(g):
-            g = np.asarray(g, dtype=np.float64)
+            g = np.asarray(g)
             if axis is None:
                 return (np.broadcast_to(g, shape).copy(),)
             if not keepdims:

@@ -215,4 +215,6 @@ class TestPerfSmoke:
         assert results["evaluation"]["speedup"] >= 2.0
         assert results["sampling"]["speedup"] >= 4.0
         for row in results["train_step"].values():
-            assert row["ms_per_step"] > 0.0
+            for backend in ("reference", "fast"):
+                assert row[backend]["ms_per_step"] > 0.0
+            assert row["speedup"] > 0.0
