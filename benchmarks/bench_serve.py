@@ -11,6 +11,12 @@ comes from graph models re-running their full (hyperbolic) propagation
 on every ``recommend`` call while the index replays only the final
 distance arithmetic.
 
+Since PR 7 the percentiles are HDR-histogram-derived (bounded 0.5%
+relative error, same machinery the live serve path records into) and the
+results carry an ``slo`` report evaluated against the built-in
+objectives; the suite asserts that report passes, so a latency or
+availability regression fails the benchmark, not just the speedup floor.
+
 Run standalone (``PYTHONPATH=src python benchmarks/bench_serve.py``) or
 through pytest (``pytest benchmarks/bench_serve.py``).  Set
 ``REPRO_BENCH_FAST=1`` for a smaller request count.
@@ -58,6 +64,10 @@ def test_serve_latency(benchmark, artifact):
                                  rounds=1, iterations=1)
     artifact("serve_latency", format_results(results))
     assert results["speedup_indexed_vs_naive"] >= MIN_SPEEDUP
+    slo = results["slo"]
+    assert slo["passed"], (
+        f"serve SLO report failed: {slo['n_violations']} violation(s) "
+        f"in {json.dumps(slo['results'], indent=2)}")
 
 
 if __name__ == "__main__":
@@ -69,4 +79,7 @@ if __name__ == "__main__":
         f"indexed serving speedup "
         f"{out['speedup_indexed_vs_naive']:.1f}x is below the "
         f"{MIN_SPEEDUP}x floor")
+    assert out["slo"]["passed"], (
+        f"serve SLO report failed: {out['slo']['n_violations']} "
+        f"violation(s)")
     print(f"[results written to {RESULT_PATH}]")

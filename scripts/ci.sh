@@ -14,7 +14,13 @@
 #              must be rejected;
 #   6. backend — a 2-epoch train on the fast tensor backend must run
 #              end to end and agree with the reference backend's
-#              losses within tolerance on a tiny config.
+#              losses within tolerance on a tiny config;
+#   7. observability — a traced+profiled serve bench must yield a run
+#              dir from which export-trace emits valid Chrome trace
+#              JSON, `obs slo` exits 0 on the built-in objectives,
+#              `obs summarize --json` parses, and `obs profile`
+#              renders samples.  The <2% disabled-telemetry overhead
+#              budget stays asserted by tests/test_obs.py in gate 2.
 #
 # Usage: bash scripts/ci.sh            (from the repo root)
 set -euo pipefail
@@ -121,6 +127,30 @@ for backend in ("reference", "fast"):
 np.testing.assert_allclose(losses["fast"], losses["reference"],
                            rtol=1e-4)
 EOF
+echo "ok"
+
+echo "== observability smoke =="
+python -m repro serve bench --dataset ciao --epochs 1 --requests 40 \
+    --trace --profile --run-dir "$smoke_dir/obsruns" \
+    > "$smoke_dir/o1.txt"
+grep -q "PASS latency-p99" "$smoke_dir/o1.txt"
+obs_run=$(ls -d "$smoke_dir"/obsruns/*/ | head -n 1)
+test -s "$obs_run/events.jsonl"
+test -s "$obs_run/profile.collapsed"
+python -m repro obs export-trace "$obs_run"
+python - "$obs_run/trace.json" <<'EOF'
+import json, sys
+from repro.obs.export import validate_chrome_trace
+doc = json.load(open(sys.argv[1]))
+errors = validate_chrome_trace(doc)
+assert not errors, errors
+assert len(doc["traceEvents"]) > 0
+EOF
+python -m repro obs slo "$obs_run"
+python -m repro obs summarize "$obs_run" --json \
+    | python -c "import json, sys; json.load(sys.stdin)"
+python -m repro obs profile "$obs_run" --top 5 > "$smoke_dir/o2.txt"
+grep -q "samples" "$smoke_dir/o2.txt"
 echo "ok"
 
 echo "== all gates passed =="

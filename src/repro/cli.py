@@ -7,16 +7,22 @@ train        Train one zoo model on one dataset and report test metrics.
 compare      Run a Table-II style comparison.
 ablation     Run the Table-III ablation variants.
 cases        Print Table-V style case studies.
-obs          Telemetry utilities: summarize / list run directories.
+obs          Telemetry utilities: summarize (``--json`` for machines) /
+             list run directories, export a Chrome/Perfetto trace
+             (``export-trace``), evaluate service-level objectives
+             (``slo``, exit 0 pass / 1 violation / 2 no data), and
+             render a recorded profile (``profile``).
 serve        Offline serving: export an index from a checkpoint, answer
              top-K queries, micro-benchmark request latency.
 robust       Fault-injection drills: provoke NaN divergence, process
              kills, scoring failures, and checkpoint corruption, and
              verify the recovery machinery end to end.
 
-``train`` and ``compare`` accept ``--telemetry`` (record spans, metrics,
-and a run manifest under ``runs/<run_id>/``) and ``--trace`` (telemetry
-plus NaN/inf gradient scanning in the autograd engine).  ``train`` also
+``train``, ``compare``, and ``serve bench`` accept ``--telemetry``
+(record spans, metrics, and a run manifest under ``runs/<run_id>/``),
+``--trace`` (telemetry plus NaN/inf gradient scanning in the autograd
+engine), and ``--profile`` (telemetry plus a sampling profiler writing
+``profile.collapsed``).  ``train`` also
 accepts ``--checkpoint-dir`` (auto-checkpoint every N epochs with
 NaN/divergence rollback) and ``--resume`` (continue a killed run from
 its auto-checkpoint, bit-identically).
@@ -63,28 +69,51 @@ def _add_telemetry(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", action="store_true",
                         help="--telemetry plus NaN/inf gradient checks "
                              "(slower; for debugging divergence)")
+    parser.add_argument("--profile", action="store_true",
+                        help="sample Python stacks during the run and "
+                             "write profile.collapsed (implies "
+                             "--telemetry)")
     parser.add_argument("--run-dir", default="runs",
                         help="base directory for run artifacts "
                              "(default: runs/)")
 
 
+# The active --profile sampler; one CLI invocation runs one command, so
+# a module global (not a Run attribute — Run is slotted) is enough.
+_PROFILER = None
+
+
 def _maybe_start_run(args, command: str, **config):
-    """Start a repro.obs run when --telemetry/--trace was given."""
+    """Start a repro.obs run when --telemetry/--trace/--profile was given."""
+    global _PROFILER
+    profile = getattr(args, "profile", False)
     if not (getattr(args, "telemetry", False)
-            or getattr(args, "trace", False)):
+            or getattr(args, "trace", False) or profile):
         return None
     from repro import obs
     config = {"command": command, "seed": getattr(args, "seed", None),
               **config}
-    return obs.start_run(run_dir=args.run_dir, config=config,
-                         nan_checks=args.trace)
+    run = obs.start_run(run_dir=args.run_dir, config=config,
+                        nan_checks=getattr(args, "trace", False))
+    if profile:
+        _PROFILER = obs.SamplingProfiler().start()
+    return run
 
 
 def _finish_run(run, final_metrics=None, dataset_stats=None) -> None:
+    global _PROFILER
     if run is None:
         return
     from repro import obs
+    from repro.tensor.backend import publish_metrics
     run_dir = run.dir
+    if _PROFILER is not None:
+        profiler, _PROFILER = _PROFILER, None
+        profiler.stop()
+        path = profiler.write(run_dir)
+        print(f"[profile] {profiler.n_samples} samples in {path} "
+              f"(inspect with: repro obs profile {run_dir})")
+    publish_metrics()
     obs.finish_run(final_metrics=final_metrics,
                    dataset_stats=dataset_stats)
     print(f"[telemetry] run artifacts in {run_dir} "
@@ -143,8 +172,29 @@ def build_parser() -> argparse.ArgumentParser:
     summ = obs_sub.add_parser("summarize",
                               help="span tree + metrics of one run")
     summ.add_argument("run_dir", help="runs/<run_id> directory")
+    summ.add_argument("--json", action="store_true",
+                      help="machine-readable JSON instead of text")
     lst = obs_sub.add_parser("list", help="list recorded runs")
     lst.add_argument("--run-dir", default="runs")
+    exp_tr = obs_sub.add_parser(
+        "export-trace",
+        help="Chrome/Perfetto trace JSON from one run's events")
+    exp_tr.add_argument("run_dir", help="runs/<run_id> directory")
+    exp_tr.add_argument("--out", default=None,
+                        help="output path (default: <run_dir>/trace.json)")
+    slo_p = obs_sub.add_parser(
+        "slo", help="evaluate service-level objectives against one run")
+    slo_p.add_argument("run_dir", help="runs/<run_id> directory")
+    slo_p.add_argument("--config", default=None,
+                       help="SLO JSON file (default: <run_dir>/slo.json "
+                            "when present, else the built-in objectives)")
+    slo_p.add_argument("--json", action="store_true",
+                       help="machine-readable JSON report")
+    prof = obs_sub.add_parser(
+        "profile", help="hottest stacks from a --profile run")
+    prof.add_argument("run_dir", help="runs/<run_id> directory")
+    prof.add_argument("--top", type=int, default=15,
+                      help="stacks to show (default: 15)")
 
     serve = sub.add_parser("serve", help="offline serving utilities")
     serve_sub = serve.add_subparsers(dest="serve_command", required=True)
@@ -178,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     bch.add_argument("--fail-rate", type=float, default=0.0,
                      help="also measure the degraded path under this "
                           "injected scoring-failure rate")
+    _add_telemetry(bch)
 
     robust = sub.add_parser(
         "robust", help="fault-injection and recovery drills")
@@ -356,6 +407,7 @@ def cmd_cases(args) -> int:
 
 
 def cmd_obs(args) -> int:
+    import json
     import pathlib
 
     from repro import obs
@@ -371,7 +423,66 @@ def cmd_obs(args) -> int:
                   f"(expected manifest.json or events.jsonl)",
                   file=sys.stderr)
             return 2
-        print(obs.summarize(run_dir))
+        if args.json:
+            print(json.dumps(obs.summarize_json(run_dir), indent=2))
+        else:
+            print(obs.summarize(run_dir))
+        return 0
+    if args.obs_command == "export-trace":
+        run_dir = pathlib.Path(args.run_dir)
+        if not run_dir.is_dir():
+            print(f"error: no run directory at {run_dir}",
+                  file=sys.stderr)
+            return 2
+        try:
+            out = obs.export_chrome_trace(run_dir, out=args.out)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"[trace] {out} (open in chrome://tracing or "
+              f"https://ui.perfetto.dev)")
+        return 0
+    if args.obs_command == "slo":
+        from repro.obs.slo import (SloConfigError, evaluate_run,
+                                   format_report, load_slo_config)
+        run_dir = pathlib.Path(args.run_dir)
+        if not run_dir.is_dir():
+            print(f"error: no run directory at {run_dir}",
+                  file=sys.stderr)
+            return 2
+        config_path = args.config
+        if config_path is None and (run_dir / "slo.json").is_file():
+            config_path = run_dir / "slo.json"
+        try:
+            objectives = load_slo_config(config_path)
+        except SloConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report = evaluate_run(run_dir, objectives)
+        if report is None:
+            print(f"error: {run_dir} has no manifest.json (run did not "
+                  f"finish); nothing to evaluate", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(format_report(report, title=f"slo {run_dir}"))
+        if report["n_no_data"] == report["n_objectives"]:
+            return 2
+        return 0 if report["passed"] else 1
+    if args.obs_command == "profile":
+        from repro.obs.profile import PROFILE_FILENAME, render_profile
+        run_dir = pathlib.Path(args.run_dir)
+        if not run_dir.is_dir():
+            print(f"error: no run directory at {run_dir}",
+                  file=sys.stderr)
+            return 2
+        path = run_dir / PROFILE_FILENAME
+        if not path.is_file():
+            print(f"error: no {PROFILE_FILENAME} in {run_dir} "
+                  f"(record one with --profile)", file=sys.stderr)
+            return 2
+        print(render_profile(path, top=args.top))
         return 0
     base = pathlib.Path(args.run_dir)
     if not base.is_dir():
@@ -405,11 +516,19 @@ def cmd_serve(args) -> int:
                 print(f"user {response['user_id']}: {items}{note}")
             return 0
         from repro.serve.bench import format_results, run_serve_benchmark
+        run = _maybe_start_run(args, "serve_bench", model=args.model,
+                               dataset=args.dataset,
+                               requests=args.requests)
         results = run_serve_benchmark(
             model_name=args.model, dataset_name=args.dataset,
             epochs=args.epochs, n_requests=args.requests, k=args.k,
             index_path=args.index, fail_rate=args.fail_rate)
         print(format_results(results))
+        final = {"indexed/p99_ms": results["indexed"]["p99_ms"],
+                 "indexed/qps": results["indexed"]["qps"]}
+        if results.get("speedup_indexed_vs_naive"):
+            final["speedup"] = results["speedup_indexed_vs_naive"]
+        _finish_run(run, final_metrics=final)
         return 0
     except (CheckpointError, IndexFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)

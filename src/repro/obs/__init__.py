@@ -3,10 +3,19 @@
 One import gives every layer the same four verbs:
 
 * :func:`trace` / :func:`record_span` — wall-clock attribution (span tree);
-* :func:`count` / :func:`gauge_set` / :func:`observe` — metrics registry
-  (counters, gauges, reservoir histograms);
-* :func:`event` — free-form JSONL events;
+* :func:`count` / :func:`gauge_set` / :func:`observe` /
+  :func:`observe_hdr` — metrics registry (counters, gauges, reservoir
+  histograms, bounded-error HDR latency histograms);
+* :func:`event` / :func:`trace_event` — free-form JSONL events, the
+  latter stamped with the current request's
+  :class:`~repro.obs.trace_context.TraceContext`;
 * :func:`get_logger` — the shared structured stderr logger.
+
+Observability v2 (PR 7) adds the request-scoped layer: traces
+(:func:`new_trace` / :func:`bind_trace` / :func:`current_trace`), the
+Chrome-trace exporter (:mod:`repro.obs.export`), SLO evaluation
+(:mod:`repro.obs.slo`), and the sampling profiler
+(:mod:`repro.obs.profile`).
 
 All of them are **strict no-ops while no run is active**: a single module
 global load and ``None`` check, no allocation, no branching on config.
@@ -30,23 +39,34 @@ CLI) because it inspects every gradient buffer and is priced accordingly.
 from __future__ import annotations
 
 from repro.obs import run as _run
+from repro.obs.export import (build_chrome_trace, export_chrome_trace,
+                              validate_chrome_trace)
+from repro.obs.hdr import HdrHistogram, WindowedHdrHistogram
 from repro.obs.logger import RateLimiter, get_logger
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.profile import SamplingProfiler
 from repro.obs.run import (Run, current_run, disable, finish_run, start_run)
 from repro.obs.sink import (JsonlSink, MemorySink, git_sha, read_events,
                             read_manifest)
 from repro.obs.summarize import (aggregate_spans, list_runs,
-                                 render_span_tree, summarize, tree_coverage)
+                                 render_span_tree, summarize,
+                                 summarize_json, tree_coverage)
+from repro.obs.trace_context import (TraceContext, bind_trace,
+                                     current_trace, new_trace)
 from repro.obs.tracing import NULL_SPAN, Span, Tracer
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Run", "Span",
-    "Tracer", "NULL_SPAN", "JsonlSink", "MemorySink", "RateLimiter",
-    "aggregate_spans", "count", "current_run", "disable", "enabled",
-    "event", "finish_run", "gauge_set", "get_logger", "git_sha",
-    "list_runs", "nan_checks_enabled", "observe", "read_events",
-    "read_manifest", "record_span", "render_span_tree", "start_run",
-    "summarize", "trace", "tree_coverage",
+    "Counter", "Gauge", "HdrHistogram", "Histogram", "MetricsRegistry",
+    "Run", "SamplingProfiler", "Span", "TraceContext", "Tracer",
+    "WindowedHdrHistogram", "NULL_SPAN", "JsonlSink", "MemorySink",
+    "RateLimiter", "aggregate_spans", "bind_trace", "build_chrome_trace",
+    "count", "current_run", "current_trace", "disable", "enabled",
+    "event", "export_chrome_trace", "finish_run", "gauge_set",
+    "get_logger", "git_sha", "list_runs", "nan_checks_enabled",
+    "new_trace", "observe", "observe_hdr", "read_events", "read_manifest",
+    "record_span", "render_span_tree", "start_run", "summarize",
+    "summarize_json", "trace", "trace_event", "tree_coverage",
+    "validate_chrome_trace",
 ]
 
 
@@ -98,6 +118,25 @@ def observe(name: str, value: float) -> None:
     r = _run._RUN
     if r is not None:
         r.registry.histogram(name).observe(value)
+
+
+def observe_hdr(name: str, value: float) -> None:
+    """Observe into a bounded-error HDR histogram (no-op when disabled)."""
+    r = _run._RUN
+    if r is not None:
+        r.registry.hdr(name).observe(value)
+
+
+def trace_event(name: str, **fields) -> None:
+    """Emit a request-scoped instant event (no-op when disabled).
+
+    Stamped with the current :class:`TraceContext` when one is bound —
+    the serving engine uses this for retries, timeouts, breaker
+    transitions, fallbacks, and cache hits.
+    """
+    r = _run._RUN
+    if r is not None:
+        r.trace_event(name, **fields)
 
 
 def event(name: str, **fields) -> None:

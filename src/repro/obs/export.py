@@ -1,0 +1,185 @@
+"""Chrome trace-event export: one timeline for train and serve.
+
+``repro obs export-trace <run-dir>`` converts a run's ``events.jsonl``
+into the Chrome trace-event JSON format (the *JSON Object Format*:
+``{"traceEvents": [...]}``), loadable in ``chrome://tracing`` and
+https://ui.perfetto.dev.  Everything the run recorded lands on one
+timeline:
+
+* **spans** → complete events (``ph: "X"``) with microsecond ``ts`` /
+  ``dur``.  Spans carrying a ``trace`` id (serve requests and everything
+  that ran under their :class:`~repro.obs.trace_context.TraceContext`)
+  are laned onto a per-request track; everything else — the
+  ``fit > epoch > {sample, forward, backward, step}`` tree, fast-backend
+  arena/kernel spans — stays on the main track.
+* **trace events** (retry, timeout, breaker transition, fallback, cache
+  hit) → thread-scoped instant events (``ph: "i"``, ``s: "t"``) on their
+  request's track.
+* **run events** (``run_start`` / ``run_end`` / supervisor checkpoints)
+  → process-scoped instants on the main track.
+
+Track names are emitted as ``thread_name`` metadata records, so Perfetto
+labels lanes ``main`` and ``request <trace_id>``.
+
+:func:`validate_chrome_trace` is a self-contained structural checker for
+the subset of the format we emit; the test suite runs every export
+through it, and the golden-file test pins the exact translation.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional
+
+from repro.obs.sink import read_events, read_manifest
+
+__all__ = ["build_chrome_trace", "export_chrome_trace",
+           "validate_chrome_trace"]
+
+_PID = 1
+_MAIN_TID = 1
+_SPAN_META_SKIP = ("trace",)   # identity, not an argument
+
+
+def _category(name: str) -> str:
+    """Event category from the name's path prefix (``serve/...`` → serve)."""
+    return name.split("/", 1)[0] if "/" in name else "run"
+
+
+def build_chrome_trace(events: List[Dict[str, object]],
+                       manifest: Optional[Dict[str, object]] = None
+                       ) -> Dict[str, object]:
+    """Translate raw run events into a Chrome trace-event document."""
+    trace_tids: Dict[str, int] = {}
+
+    def tid_for(trace_id: Optional[object]) -> int:
+        if trace_id is None:
+            return _MAIN_TID
+        tid = trace_tids.get(str(trace_id))
+        if tid is None:
+            tid = trace_tids[str(trace_id)] = _MAIN_TID + 1 + len(trace_tids)
+        return tid
+
+    out: List[Dict[str, object]] = []
+    for event in events:
+        kind = event.get("type")
+        name = str(event.get("name", "?"))
+        ts = round(float(event.get("t0", 0.0)) * 1e6, 3)
+        if kind == "span":
+            meta = dict(event.get("meta") or {})
+            args = {k: v for k, v in meta.items()
+                    if k not in _SPAN_META_SKIP}
+            if event.get("count", 1) != 1:
+                args["count"] = event["count"]
+            out.append({
+                "name": name, "cat": _category(name), "ph": "X",
+                "ts": ts, "dur": round(float(event.get("dur", 0.0)) * 1e6, 3),
+                "pid": _PID, "tid": tid_for(meta.get("trace")),
+                "args": args,
+            })
+        elif kind == "trace_event":
+            args = {k: v for k, v in event.items()
+                    if k not in ("type", "name", "t0", "trace", "span")}
+            out.append({
+                "name": name, "cat": _category(name), "ph": "i",
+                "ts": ts, "pid": _PID,
+                "tid": tid_for(event.get("trace")), "s": "t",
+                "args": args,
+            })
+        elif kind == "event":
+            args = {k: v for k, v in event.items()
+                    if k not in ("type", "name", "t0")}
+            out.append({
+                "name": name, "cat": "run", "ph": "i",
+                "ts": ts, "pid": _PID, "tid": _MAIN_TID, "s": "g",
+                "args": args,
+            })
+
+    run_id = str((manifest or {}).get("run_id", "run"))
+    metadata: List[Dict[str, object]] = [
+        {"name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+         "args": {"name": f"repro {run_id}"}},
+        {"name": "thread_name", "ph": "M", "pid": _PID, "tid": _MAIN_TID,
+         "args": {"name": "main"}},
+    ]
+    for trace_id, tid in sorted(trace_tids.items(), key=lambda kv: kv[1]):
+        metadata.append(
+            {"name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+             "args": {"name": f"request {trace_id}"}})
+
+    doc: Dict[str, object] = {
+        "traceEvents": metadata + out,
+        "displayTimeUnit": "ms",
+    }
+    if manifest:
+        doc["otherData"] = {
+            key: manifest[key]
+            for key in ("run_id", "git_sha", "started_at", "wall_s")
+            if key in manifest}
+    return doc
+
+
+def validate_chrome_trace(doc: object) -> List[str]:
+    """Structural check of a trace document; returns a list of problems.
+
+    Covers the subset of the trace-event format this exporter emits
+    (``X`` complete, ``i`` instant, ``M`` metadata).  An empty list
+    means the document is loadable by the Chrome/Perfetto viewers.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be a JSON object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document must have a 'traceEvents' list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M", "B", "E", "C"):
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: missing string 'name'")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                errors.append(f"{where}: missing integer {field!r}")
+        if ph == "M":
+            args = ev.get("args")
+            if not (isinstance(args, dict) and "name" in args):
+                errors.append(
+                    f"{where}: metadata needs args with a 'name'")
+            continue
+        if not isinstance(ev.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(
+                    f"{where}: complete event needs 'dur' >= 0")
+        if ph == "i" and ev.get("s") not in ("g", "p", "t"):
+            errors.append(
+                f"{where}: instant scope 's' must be g/p/t")
+    return errors
+
+
+def export_chrome_trace(run_dir, out: Optional[pathlib.Path] = None
+                        ) -> pathlib.Path:
+    """Write ``trace.json`` for a run directory; returns the output path.
+
+    Raises :class:`FileNotFoundError` when the run directory has no
+    events — the CLI maps that onto the exit-2 missing-run contract.
+    """
+    run_dir = pathlib.Path(run_dir)
+    events = read_events(run_dir)
+    if not events:
+        raise FileNotFoundError(
+            f"{run_dir} contains no events.jsonl to export")
+    doc = build_chrome_trace(events, manifest=read_manifest(run_dir))
+    out = pathlib.Path(out) if out is not None else run_dir / "trace.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+    return out

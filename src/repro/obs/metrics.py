@@ -1,9 +1,16 @@
-"""Metrics primitives: counters, gauges, and reservoir histograms.
+"""Metrics primitives: counters, gauges, and histograms.
 
 The registry is deliberately zero-dependency (stdlib only) so every layer
 of the library — including :mod:`repro.tensor`, which must not import
 anything heavy — can record into it.  All types are plain accumulators;
 aggregation and rendering happen at snapshot time.
+
+Every mutation is guarded by a per-metric lock: ``REPRO_BACKEND_THREADS``
+spmm workers and the multi-worker serving front-end may record into the
+flat registry concurrently, and a torn ``+=`` would silently undercount.
+The locks sit only on the *enabled* path — disabled telemetry never
+reaches a metric object, so the < 2% disabled-overhead budget is
+untouched.
 
 Naming convention: slash-separated paths, ``"sampler/rejection_rounds"``,
 ``"manifold/lorentz/dist_clamped"``.  The registry is flat; the paths are
@@ -15,21 +22,26 @@ from __future__ import annotations
 
 import math
 import random
+import threading
 import zlib
 from typing import Dict, List, Optional
+
+from repro.obs.hdr import HdrHistogram
 
 
 class Counter:
     """A monotonically increasing count (events, clamps, retries)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def summary(self) -> int:
         return self.value
@@ -38,14 +50,16 @@ class Counter:
 class Gauge:
     """A last-write-wins instantaneous value (norms, weights, sizes)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value: Optional[float] = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def summary(self) -> Optional[float]:
         return self.value
@@ -62,7 +76,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "reservoir_size", "count", "total", "min", "max",
-                 "_samples", "_rng")
+                 "_samples", "_rng", "_lock")
 
     def __init__(self, name: str, reservoir_size: int = 1024):
         self.name = name
@@ -73,31 +87,49 @@ class Histogram:
         self.max = -math.inf
         self._samples: List[float] = []
         self._rng = random.Random(zlib.crc32(name.encode()))
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        if len(self._samples) < self.reservoir_size:
-            self._samples.append(value)
-        else:
-            j = self._rng.randrange(self.count)
-            if j < self.reservoir_size:
-                self._samples[j] = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            if len(self._samples) < self.reservoir_size:
+                self._samples.append(value)
+            else:
+                j = self._rng.randrange(self.count)
+                if j < self.reservoir_size:
+                    self._samples[j] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile ``q`` in [0, 100] of the reservoir."""
-        if not self._samples:
-            return math.nan
-        ordered = sorted(self._samples)
+        """Linear-interpolated percentile ``q`` in [0, 100] of the reservoir.
+
+        Pinned edge cases: an empty histogram returns NaN; ``q=0`` and
+        ``q=100`` return the *exact* observed min/max (tracked over every
+        observation, not just the reservoir); a single observation is
+        returned for every ``q``.  Out-of-range ``q`` raises instead of
+        extrapolating.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._samples:
+                return math.nan
+            if q == 0.0:
+                return self.min
+            if q == 100.0:
+                return self.max
+            ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
         pos = (q / 100.0) * (len(ordered) - 1)
         lo = int(math.floor(pos))
         hi = min(lo + 1, len(ordered) - 1)
@@ -120,26 +152,30 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create store for the three metric types.
+    """Get-or-create store for the four metric types.
 
     A name is bound to one type for the registry's lifetime; asking for it
     as another type raises — silent type confusion would corrupt the
-    snapshot schema run-manifest consumers rely on.
+    snapshot schema run-manifest consumers rely on.  Get-or-create runs
+    under a registry lock so two threads racing to create the same metric
+    cannot each keep a private copy.
     """
 
     def __init__(self):
         self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls, **kwargs):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, **kwargs)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} is a {type(metric).__name__}, "
-                f"not a {cls.__name__}")
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}")
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
@@ -148,10 +184,21 @@ class MetricsRegistry:
         return self._get(name, Gauge)
 
     def histogram(self, name: str, reservoir_size: int = 1024) -> Histogram:
-        metric = self._metrics.get(name)
-        if metric is None:
-            return self._get(name, Histogram, reservoir_size=reservoir_size)
-        return self._get(name, Histogram)
+        if name in self._metrics:
+            return self._get(name, Histogram)
+        return self._get(name, Histogram, reservoir_size=reservoir_size)
+
+    def hdr(self, name: str, rel_error: float = 0.01,
+            min_value: float = 1e-3, max_value: float = 1e7) -> HdrHistogram:
+        """Bounded-relative-error latency histogram (see :mod:`repro.obs.hdr`).
+
+        Creation keywords apply on first use only; later calls return the
+        existing histogram unchanged, like :meth:`histogram`.
+        """
+        if name in self._metrics:
+            return self._get(name, HdrHistogram)
+        return self._get(name, HdrHistogram, rel_error=rel_error,
+                         min_value=min_value, max_value=max_value)
 
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
@@ -159,13 +206,16 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """JSON-serializable view: ``{kind: {name: summary}}``, sorted."""
         out: Dict[str, Dict[str, object]] = {
-            "counters": {}, "gauges": {}, "histograms": {}}
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+            "counters": {}, "gauges": {}, "histograms": {}, "hdr": {}}
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for name, metric in items:
             if isinstance(metric, Counter):
                 out["counters"][name] = metric.summary()
             elif isinstance(metric, Gauge):
                 out["gauges"][name] = metric.summary()
+            elif isinstance(metric, HdrHistogram):
+                out["hdr"][name] = metric.summary()
             else:
                 out["histograms"][name] = metric.summary()
         return out

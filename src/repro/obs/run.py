@@ -21,6 +21,7 @@ from typing import Dict, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sink import (JsonlSink, MemorySink, git_sha, write_manifest)
+from repro.obs.trace_context import current_trace
 from repro.obs.tracing import Tracer
 
 _RUN: Optional["Run"] = None
@@ -69,6 +70,23 @@ class Run:
         event: Dict[str, object] = {
             "type": "event", "name": name,
             "t0": round(time.perf_counter() - self._t0, 6)}
+        event.update(fields)
+        self._sink.write(event)
+
+    def trace_event(self, name: str, **fields) -> None:
+        """Write one request-scoped instant event (retry, cache hit, ...).
+
+        Stamped with the current :class:`~repro.obs.trace_context.
+        TraceContext` when one is bound, so the trace exporter can place
+        it on the owning request's timeline lane.
+        """
+        event: Dict[str, object] = {
+            "type": "trace_event", "name": name,
+            "t0": round(time.perf_counter() - self._t0, 6)}
+        ctx = current_trace()
+        if ctx is not None:
+            event["trace"] = ctx.trace_id
+            event["span"] = ctx.span_id
         event.update(fields)
         self._sink.write(event)
 

@@ -125,6 +125,18 @@ def _render_metrics(metrics: Dict[str, Dict[str, object]]) -> List[str]:
             lines.append(
                 f"  {name:<42} {h['count']:>8} {h['mean']:>12.5g} "
                 f"{h['p50']:>12.5g} {h['p90']:>12.5g} {h['max']:>12.5g}")
+    hdr = metrics.get("hdr", {})
+    if hdr:
+        lines.append("hdr histograms:"
+                     f"  {'count':>4} {'mean':>12} {'p50':>12}"
+                     f" {'p95':>12} {'p99':>12}")
+        for name, h in hdr.items():
+            if not h.get("count"):
+                lines.append(f"  {name:<42} {0:>8}")
+                continue
+            lines.append(
+                f"  {name:<42} {h['count']:>8} {h['mean']:>12.5g} "
+                f"{h['p50']:>12.5g} {h['p95']:>12.5g} {h['p99']:>12.5g}")
     return lines
 
 
@@ -168,6 +180,39 @@ def summarize(run_dir) -> str:
                 shown = f"{value:.4f}" if isinstance(value, float) else value
                 lines.append(f"  {name:<30}{shown:>12}")
     return "\n".join(lines)
+
+
+def _node_to_dict(node: SpanNode) -> Dict[str, object]:
+    out: Dict[str, object] = {"name": node.name,
+                              "total_s": round(node.total_s, 6),
+                              "n": node.n}
+    if node.children:
+        out["children"] = [_node_to_dict(child) for child in node.children]
+    return out
+
+
+def summarize_json(run_dir) -> Dict[str, object]:
+    """Machine-readable summary of one run directory.
+
+    The same artifacts :func:`summarize` renders, as one JSON-safe dict:
+    manifest (verbatim), the aggregated span tree, span coverage, and
+    the event count — what CI and the SLO gate consume without scraping
+    the text rendering.
+    """
+    run_dir = pathlib.Path(run_dir)
+    manifest = read_manifest(run_dir)
+    events = read_events(run_dir)
+    roots = aggregate_spans(events)
+    wall_s = manifest.get("wall_s") if manifest else None
+    return {
+        "run_dir": str(run_dir),
+        "run_id": (manifest or {}).get("run_id"),
+        "finished": manifest is not None,
+        "n_events": len(events),
+        "coverage": round(tree_coverage(roots, wall_s), 6),
+        "spans": [_node_to_dict(root) for root in roots],
+        "manifest": manifest,
+    }
 
 
 def list_runs(base_dir) -> List[str]:

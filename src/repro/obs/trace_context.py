@@ -1,0 +1,98 @@
+"""Request-scoped trace identity, propagated through ``contextvars``.
+
+A :class:`TraceContext` names one logical request as it flows through the
+serving engine: the retry/deadline loop, circuit-breaker transitions, and
+index scoring all happen *under* the request's context, so every span and
+trace event they emit can be stitched back onto one timeline lane per
+request by the Chrome-trace exporter (:mod:`repro.obs.export`).
+
+The context travels in a :class:`contextvars.ContextVar`, not as an
+explicit parameter: instrumented code deep in the call tree (the guarded
+scoring loop, the breaker's transition hook) reads :func:`current_trace`
+without any plumbing through intermediate signatures.  The engine's
+batched path, which interleaves work for many requests inside one call,
+re-binds the right context around each request's slice of work with
+:func:`bind_trace`.
+
+Trace ids are a process-local monotonically increasing counter rendered
+as fixed-width hex — deterministic within a process (golden tests) and
+cheap to mint.  Cross-process uniqueness is not a goal here: a run
+directory is written by one process, and the sharded front-end planned
+on the ROADMAP will namespace ids per worker.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+from typing import Dict, Optional
+
+__all__ = ["TraceContext", "bind_trace", "current_trace", "new_trace",
+           "reset_trace_ids"]
+
+_TRACE_IDS = itertools.count(1)
+_CURRENT: "contextvars.ContextVar[Optional[TraceContext]]" = \
+    contextvars.ContextVar("repro_trace_context", default=None)
+
+
+class TraceContext:
+    """Identity of one in-flight request (trace id + root span id)."""
+
+    __slots__ = ("trace_id", "span_id", "name", "meta")
+
+    def __init__(self, trace_id: str, name: str = "request",
+                 span_id: int = 1,
+                 meta: Optional[Dict[str, object]] = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.name = name
+        self.meta = meta or {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceContext({self.trace_id!r}, name={self.name!r})"
+
+
+def new_trace(name: str = "request", **meta) -> TraceContext:
+    """Mint a fresh trace context (does not bind it; see :func:`bind_trace`)."""
+    return TraceContext(f"{next(_TRACE_IDS):08x}", name=name, meta=meta)
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The trace context bound to the current execution context, if any."""
+    return _CURRENT.get()
+
+
+class _Bound:
+    """Context manager that binds a trace context for its ``with`` body.
+
+    ``bind_trace(None)`` is a no-op manager, so callers can bind
+    unconditionally without branching on whether telemetry is active.
+    """
+
+    __slots__ = ("_ctx", "_token")
+
+    def __init__(self, ctx: Optional[TraceContext]):
+        self._ctx = ctx
+        self._token = None
+
+    def __enter__(self) -> Optional[TraceContext]:
+        if self._ctx is not None:
+            self._token = _CURRENT.set(self._ctx)
+        return self._ctx
+
+    def __exit__(self, *exc) -> bool:
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        return False
+
+
+def bind_trace(ctx: Optional[TraceContext]) -> _Bound:
+    """Bind ``ctx`` as the current trace for the ``with`` body."""
+    return _Bound(ctx)
+
+
+def reset_trace_ids() -> None:
+    """Restart the id counter (deterministic golden tests only)."""
+    global _TRACE_IDS
+    _TRACE_IDS = itertools.count(1)

@@ -22,6 +22,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.trace_context import current_trace
+
 
 class Span:
     """One finished (or open) region of wall-clock time."""
@@ -128,6 +130,11 @@ class Tracer:
     def _new_span(self, name: str, meta: Dict[str, object]) -> Span:
         self._next_id += 1
         parent = self._stack[-1].span_id if self._stack else None
+        ctx = current_trace()
+        if ctx is not None:
+            # Stamp request identity so the exporter can lane spans per
+            # trace; explicit trace=... meta (batched paths) wins.
+            meta.setdefault("trace", ctx.trace_id)
         return Span(name, self._next_id, parent,
                     t_start=time.perf_counter() - self._epoch, meta=meta)
 

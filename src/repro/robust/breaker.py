@@ -14,7 +14,7 @@ rather than clock-based so drills replay deterministically.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Callable, Deque, Optional
 
 from repro.robust.policies import BreakerPolicy
 
@@ -24,14 +24,29 @@ HALF_OPEN = "half_open"
 
 
 class CircuitBreaker:
-    """Sliding-window failure-rate breaker driven by :class:`BreakerPolicy`."""
+    """Sliding-window failure-rate breaker driven by :class:`BreakerPolicy`.
 
-    def __init__(self, policy: BreakerPolicy = None):
+    ``on_transition(old_state, new_state)`` is invoked on every state
+    change — the serving engine hangs trace events off it so breaker
+    open/half-open/close shows up on the request timeline.  The hook
+    runs under the caller's trace context (transitions happen inside a
+    request's ``allow``/``record``), and it must not raise.
+    """
+
+    def __init__(self, policy: BreakerPolicy = None,
+                 on_transition: Optional[Callable[[str, str], None]] = None):
         self.policy = policy if policy is not None else BreakerPolicy()
+        self.on_transition = on_transition
         self.state = CLOSED
         self.opens = 0                 # lifetime open transitions
         self._window: Deque[bool] = deque(maxlen=self.policy.window)
         self._cooldown_left = 0
+
+    def _set_state(self, new_state: str) -> None:
+        old_state = self.state
+        self.state = new_state
+        if self.on_transition is not None and old_state != new_state:
+            self.on_transition(old_state, new_state)
 
     # ------------------------------------------------------------------
     def allow(self) -> bool:
@@ -44,7 +59,7 @@ class CircuitBreaker:
             if self._cooldown_left > 0:
                 self._cooldown_left -= 1
                 return False
-            self.state = HALF_OPEN
+            self._set_state(HALF_OPEN)
         return True
 
     def record(self, ok: bool) -> bool:
@@ -55,7 +70,7 @@ class CircuitBreaker:
         """
         if self.state == HALF_OPEN:
             if ok:
-                self.state = CLOSED
+                self._set_state(CLOSED)
                 self._window.clear()
                 return False
             return self._open()
@@ -68,7 +83,7 @@ class CircuitBreaker:
         return False
 
     def _open(self) -> bool:
-        self.state = OPEN
+        self._set_state(OPEN)
         self.opens += 1
         self._cooldown_left = self.policy.cooldown
         self._window.clear()

@@ -207,6 +207,7 @@ class TrainingSupervisor:
             LOG.info("resuming %s from %s at epoch %d",
                      type(model).__name__, self.dir, state.epoch)
             obs.count("train/resumes")
+            obs.trace_event("train/resume", epoch=state.epoch)
             return
         # Fresh start: epoch-0 checkpoint so rollback always has a
         # target, even before the first interval elapses.
@@ -245,6 +246,7 @@ class TrainingSupervisor:
             self._checkpoint(model, optimizer, state)
         if self.plan is not None and self.plan.take_kill(epoch):
             self.events.append(("crash", {"epoch": epoch}))
+            obs.trace_event("train/crash", epoch=epoch)
             raise SimulatedCrash(
                 f"injected kill after epoch {epoch} (resume from "
                 f"{self.dir})")
@@ -261,8 +263,9 @@ class TrainingSupervisor:
     def _checkpoint(self, model, optimizer, state) -> None:
         from repro.serve.checkpoint import save_checkpoint
 
-        save_checkpoint(model, self.dir, dataset=self._dataset)
-        save_fit_state(self.dir, optimizer, state, self.retries_left)
+        with obs.trace("checkpoint", epoch=state.epoch):
+            save_checkpoint(model, self.dir, dataset=self._dataset)
+            save_fit_state(self.dir, optimizer, state, self.retries_left)
         self.checkpoints += 1
         self.events.append(("checkpoint", {"epoch": state.epoch}))
         obs.count("train/auto_checkpoints")
@@ -302,6 +305,9 @@ class TrainingSupervisor:
                     epoch, state.epoch, getattr(optimizer, "lr", "?"),
                     self.retries_left)
         obs.count("train/rollbacks")
+        obs.trace_event("train/rollback", diverged_epoch=epoch,
+                        resumed_epoch=state.epoch,
+                        retries_left=self.retries_left)
         if getattr(optimizer, "lr", None) is not None:
             obs.gauge_set("train/lr", float(optimizer.lr))
         return state.epoch

@@ -34,15 +34,29 @@ from typing import Dict, List
 import numpy as np
 
 from repro import obs
+from repro.obs.hdr import HdrHistogram
+
+# Bench percentiles come from the same bounded-error HDR histograms the
+# live serve path records into (serve/latency_ms) so the offline number
+# and the SLO number agree by construction.  0.5% relative error is far
+# below run-to-run noise.
+_HDR_REL_ERROR = 0.005
 
 
 def _percentiles_ms(times_s: List[float]) -> Dict[str, float]:
-    arr = np.asarray(times_s) * 1e3
+    hist = HdrHistogram("bench/latency_ms", rel_error=_HDR_REL_ERROR,
+                        min_value=1e-4, max_value=1e7)
+    total = 0.0
+    for t in times_s:
+        ms = t * 1e3
+        hist.observe(ms)
+        total += ms
     return {
-        "p50_ms": float(np.percentile(arr, 50)),
-        "p95_ms": float(np.percentile(arr, 95)),
-        "p99_ms": float(np.percentile(arr, 99)),
-        "mean_ms": float(arr.mean()),
+        "p50_ms": float(hist.percentile(50)),
+        "p95_ms": float(hist.percentile(95)),
+        "p99_ms": float(hist.percentile(99)),
+        "mean_ms": total / len(times_s) if times_s else float("nan"),
+        "hdr_rel_error": _HDR_REL_ERROR,
     }
 
 
@@ -149,6 +163,15 @@ def run_serve_benchmark(model_name: str = "LogiRec++",
             degraded["fail_rate"] = float(fail_rate)
             degraded["stats"] = dict(shaky.stats)
 
+    # Aggregate counters over the healthy services (cold/warm/batched);
+    # the fault-injected service is excluded so deliberate fault drills
+    # don't fail the availability SLO.
+    service_stats: Dict[str, int] = {}
+    for service in (cold, warm, batch_req):
+        for stat_name, value in service.stats.items():
+            service_stats[stat_name] = (
+                service_stats.get(stat_name, 0) + int(value))
+
     results = {
         "model": model_name,
         "dataset": dataset_name,
@@ -164,9 +187,12 @@ def run_serve_benchmark(model_name: str = "LogiRec++",
         "speedup_indexed_vs_naive": (
             naive["mean_ms"] / indexed["mean_ms"] if naive else None),
         "cache_stats": warm.cache_info(),
+        "service_stats": service_stats,
     }
     if degraded is not None:
         results["degraded"] = degraded
+    from repro.obs.slo import evaluate_serve_results
+    results["slo"] = evaluate_serve_results(results)
     return results
 
 
@@ -190,4 +216,8 @@ def format_results(results: Dict[str, object]) -> str:
     if speedup is not None:
         lines.append(f"speedup (indexed vs naive single request): "
                      f"{speedup:.1f}x")
+    slo = results.get("slo")
+    if slo is not None:
+        from repro.obs.slo import format_report
+        lines.append(format_report(slo))
     return "\n".join(lines)

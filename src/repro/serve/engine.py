@@ -87,7 +87,8 @@ class RecommendService:
         self.config = config if config is not None else ServiceConfig()
         self.index = index
         self.fallback_index = fallback_index
-        self.breaker = CircuitBreaker(self.config.breaker)
+        self.breaker = CircuitBreaker(self.config.breaker,
+                                      on_transition=self._breaker_transition)
         self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self.stats: Dict[str, int] = {
             "requests": 0, "cache_hits": 0, "cache_misses": 0,
@@ -145,14 +146,18 @@ class RecommendService:
             if attempt:
                 self.stats["retries"] += 1
                 obs.count("serve/retries")
+                obs.trace_event("serve/retry", user=uid, attempt=attempt)
                 if policy.backoff_s > 0:
                     time.sleep(policy.backoff_s * (2 ** (attempt - 1)))
             start = time.perf_counter()
             try:
-                row = self.index.score_user(uid)
+                with obs.trace("serve/score", user=uid, attempt=attempt):
+                    row = self.index.score_user(uid)
             except Exception as exc:
                 self.stats["scoring_failures"] += 1
                 obs.count("serve/scoring_failures")
+                obs.trace_event("serve/scoring_error", user=uid,
+                                attempt=attempt, error=type(exc).__name__)
                 LOG.warning("scoring user %d failed (attempt %d/%d): %s",
                             uid, attempt + 1, policy.retries + 1, exc)
                 continue
@@ -162,6 +167,7 @@ class RecommendService:
                 self.stats["scoring_failures"] += 1
                 obs.count("serve/timeouts")
                 obs.count("serve/scoring_failures")
+                obs.trace_event("serve/timeout", user=uid, attempt=attempt)
                 continue
             self._record_outcome(True)
             return row
@@ -175,6 +181,11 @@ class RecommendService:
             LOG.warning("circuit breaker opened after repeated scoring "
                         "failures (cooldown: %d requests)",
                         self.config.breaker.cooldown)
+
+    def _breaker_transition(self, old_state: str, new_state: str) -> None:
+        """Breaker state changes land on the triggering request's trace."""
+        obs.trace_event("serve/breaker_transition", old=old_state,
+                        new=new_state)
 
     # ------------------------------------------------------------------
     # Fallbacks
@@ -228,6 +239,8 @@ class RecommendService:
             items, source = self._degraded_items(uid, k)
         else:
             items, source = self.index.popularity[:k], "popularity"
+        obs.trace_event("serve/fallback", user=uid, degraded=degraded,
+                        source=source)
         return {"user_id": uid, "items": [int(i) for i in items],
                 "cached": False, "fallback": True, "degraded": degraded,
                 "source": source}
@@ -258,16 +271,39 @@ class RecommendService:
         """
         k = self.config.k if k is None else int(k)
         user_ids = [int(u) for u in user_ids]
+        # One enabled() check per batch gates all per-request telemetry
+        # (trace minting, binding, latency recording) so the disabled
+        # path stays within the 2% overhead budget.
+        telemetry = obs.enabled()
+        ctxs: List[Optional[obs.TraceContext]] = [None] * len(user_ids)
+        t_batch = time.perf_counter() if telemetry else 0.0
         with obs.trace("serve/query_batch", n_requests=len(user_ids),
                        k=k):
             results: List[Optional[Dict[str, object]]] = (
                 [None] * len(user_ids))
+
+            def _complete(pos: int) -> None:
+                # Per-request latency is batch entry → this request's
+                # completion: queueing-honest for micro-batched work.
+                result = results[pos]
+                dur = time.perf_counter() - t_batch
+                obs.observe_hdr("serve/latency_ms", dur * 1e3)
+                obs.record_span("serve/request", dur,
+                                user=result["user_id"],
+                                source=result["source"],
+                                trace=ctxs[pos].trace_id)
+
             to_score: List[int] = []      # positions needing fresh scores
             for pos, uid in enumerate(user_ids):
                 self.stats["requests"] += 1
+                if telemetry:
+                    ctxs[pos] = obs.new_trace("serve/request", user=uid)
                 if not 0 <= uid < self.index.n_users:
-                    results[pos] = self._fallback_response(uid, k,
-                                                           degraded=False)
+                    with obs.bind_trace(ctxs[pos]):
+                        results[pos] = self._fallback_response(
+                            uid, k, degraded=False)
+                    if telemetry:
+                        _complete(pos)
                     continue
                 cached = self._cache_get((uid, k))
                 if cached is not None:
@@ -276,26 +312,43 @@ class RecommendService:
                                     "items": [int(i) for i in cached],
                                     "cached": True, "fallback": False,
                                     "degraded": False, "source": "cache"}
+                    if telemetry:
+                        with obs.bind_trace(ctxs[pos]):
+                            obs.trace_event("serve/cache_hit", user=uid)
+                        _complete(pos)
                 else:
                     self.stats["cache_misses"] += 1
                     to_score.append(pos)
             scored_pos: List[int] = []
             rows: List[np.ndarray] = []
-            for pos in to_score:
+
+            def _score_one(pos: int) -> bool:
+                """True when the request still awaits the top-K pass."""
                 uid = user_ids[pos]
                 if not self.breaker.allow():
                     self.stats["breaker_short_circuits"] += 1
                     obs.count("serve/breaker_short_circuits")
+                    obs.trace_event("serve/short_circuit", user=uid)
                     results[pos] = self._fallback_response(uid, k,
                                                            degraded=True)
-                    continue
+                    return False
                 row = self._score_guarded(uid)
                 if row is None:
                     results[pos] = self._fallback_response(uid, k,
                                                            degraded=True)
+                    return False
+                scored_pos.append(pos)
+                rows.append(row)
+                return True
+
+            for pos in to_score:
+                if telemetry:
+                    with obs.bind_trace(ctxs[pos]):
+                        pending = _score_one(pos)
+                    if not pending:
+                        _complete(pos)
                 else:
-                    scored_pos.append(pos)
-                    rows.append(row)
+                    _score_one(pos)
             chunk = self.config.batch_size
             for start in range(0, len(scored_pos), chunk):
                 positions = scored_pos[start:start + chunk]
@@ -314,7 +367,9 @@ class RecommendService:
                                     "items": [int(i) for i in items],
                                     "cached": False, "fallback": False,
                                     "degraded": False, "source": "index"}
-            if obs.enabled():
+                    if telemetry:
+                        _complete(pos)
+            if telemetry:
                 obs.count("serve/requests", len(user_ids))
                 obs.count("serve/scored_users", len(scored_pos))
                 obs.observe("serve/batch_size", float(len(user_ids)))

@@ -55,8 +55,10 @@ __all__ = [
     "arena_stats",
     "available_backends",
     "compute_dtype",
+    "describe",
     "get_backend",
     "kernel",
+    "publish_metrics",
     "register_kernel",
     "scatter_add_rows",
     "set_backend",
@@ -237,6 +239,37 @@ def arena_stats() -> Optional[Dict[str, float]]:
     """Arena telemetry for the active backend (``None`` if it has none)."""
     arena = get_backend().arena
     return arena.stats() if arena is not None else None
+
+
+def describe() -> Dict[str, object]:
+    """Active-backend description for run manifests and trace metadata."""
+    backend = get_backend()
+    info: Dict[str, object] = {
+        "name": backend.name, "dtype": backend.dtype.name,
+        "fused": backend.fused, "threads": backend.threads}
+    stats = arena_stats()
+    if stats is not None:
+        info["arena"] = stats
+    return info
+
+
+def publish_metrics() -> None:
+    """Mirror arena telemetry into obs gauges.
+
+    Called once at the *end* of instrumented work (not per step — the
+    arena's byte accounting walks every pool), so run summaries show
+    final pool occupancy and hit rate next to the fused-kernel counters.
+    No-op without an active run or without an arena.
+    """
+    from repro import obs
+    if not obs.enabled():
+        return
+    stats = arena_stats()
+    if stats is None:
+        return
+    obs.gauge_set("backend/arena/buffers", float(stats["buffers"]))
+    obs.gauge_set("backend/arena/bytes", float(stats["bytes"]))
+    obs.gauge_set("backend/arena/hit_rate", float(stats["hit_rate"]))
 
 
 # ----------------------------------------------------------------------
