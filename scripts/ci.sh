@@ -21,6 +21,12 @@
 #              `obs summarize --json` parses, and `obs profile`
 #              renders samples.  The <2% disabled-telemetry overhead
 #              budget stays asserted by tests/test_obs.py in gate 2.
+#   8. frontend — the multi-worker HTTP front-end over a saved index:
+#              2 workers serve /recommend, /status shows every shard
+#              ready, SIGTERM drains to exit 0 with clean /dev/shm;
+#              then a traced worker-kill drill must answer every
+#              request (degraded allowed, errors not), restart the
+#              worker, pass `obs slo`, and export a valid trace.
 #
 # Usage: bash scripts/ci.sh            (from the repo root)
 set -euo pipefail
@@ -42,7 +48,9 @@ python -m pytest -x -q
 
 echo "== telemetry smoke =="
 smoke_dir=$(mktemp -d)
-trap 'rm -rf "$smoke_dir"' EXIT
+server_pid=""
+trap '[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null; \
+     rm -rf "$smoke_dir"' EXIT
 python -m repro train BPRMF --dataset cd --epochs 2 \
     --telemetry --run-dir "$smoke_dir/runs"
 run_dir=$(ls -d "$smoke_dir"/runs/*/ | head -n 1)
@@ -151,6 +159,71 @@ python -m repro obs summarize "$obs_run" --json \
     | python -c "import json, sys; json.load(sys.stdin)"
 python -m repro obs profile "$obs_run" --top 5 > "$smoke_dir/o2.txt"
 grep -q "samples" "$smoke_dir/o2.txt"
+echo "ok"
+
+echo "== serving front-end smoke =="
+# Reuses gate 4's exported index.  Start the HTTP edge with 2 workers,
+# exercise every route, then SIGTERM: the contract is a graceful drain
+# (exit 0) and no leaked shared-memory segments.
+python -m repro serve http "$smoke_dir/index" --workers 2 \
+    --port-file "$smoke_dir/port.txt" > "$smoke_dir/http.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 300); do
+    [ -s "$smoke_dir/port.txt" ] && break
+    sleep 0.1
+done
+test -s "$smoke_dir/port.txt"
+port=$(cat "$smoke_dir/port.txt")
+curl -sf "http://127.0.0.1:$port/recommend?user=3&k=5" \
+    > "$smoke_dir/h1.json"
+grep -q '"items"' "$smoke_dir/h1.json"
+curl -sf "http://127.0.0.1:$port/health" > /dev/null
+python -m repro serve http --status --port "$port" > "$smoke_dir/h2.txt"
+grep -q "2/2 worker(s) ready" "$smoke_dir/h2.txt"
+grep -q "shard 1:" "$smoke_dir/h2.txt"
+kill -TERM "$server_pid"
+set +e
+wait "$server_pid"
+drain_status=$?
+set -e
+test "$drain_status" -eq 0
+server_pid=""
+grep -q "drained" "$smoke_dir/http.log"
+if ls /dev/shm/repro_shm_* > /dev/null 2>&1; then
+    echo "leaked shared-memory segments:"; ls /dev/shm/repro_shm_*
+    exit 1
+fi
+
+# Worker-kill drill under open-loop load: every request answered
+# (degraded fallbacks allowed, hard failures not), worker restarted.
+python -m repro robust inject serve --frontend --kill-after 20 \
+    --requests 150 --qps 300 --epochs 1 > "$smoke_dir/h3.txt"
+grep -q "survived: every request answered, fleet recovered" \
+    "$smoke_dir/h3.txt"
+grep -q "hard_failures: 0" "$smoke_dir/h3.txt"
+grep -q "worker_restarts: 1" "$smoke_dir/h3.txt"
+
+# Traced front-end bench: queue-wait histogram recorded, SLO passes,
+# and the cross-process request spans export as a valid Chrome trace.
+python -m repro serve bench --dataset ciao --epochs 1 --requests 40 \
+    --frontend-workers 2 --telemetry --run-dir "$smoke_dir/feruns" \
+    > "$smoke_dir/h4.txt"
+grep -q "frontend bench: 2 worker(s)" "$smoke_dir/h4.txt"
+grep -q "kill drill:" "$smoke_dir/h4.txt"
+grep -q "frontend slo: 3 objective(s), 0 violation(s)" \
+    "$smoke_dir/h4.txt"
+fe_run=$(ls -d "$smoke_dir"/feruns/*/ | head -n 1)
+python -m repro obs slo "$fe_run"
+python -m repro obs export-trace "$fe_run"
+python - "$fe_run/trace.json" <<'EOF'
+import json, sys
+from repro.obs.export import validate_chrome_trace
+doc = json.load(open(sys.argv[1]))
+errors = validate_chrome_trace(doc)
+assert not errors, errors
+names = {event.get("name") for event in doc["traceEvents"]}
+assert "serve/request" in names, sorted(names)[:20]
+EOF
 echo "ok"
 
 echo "== all gates passed =="

@@ -13,10 +13,15 @@ obs          Telemetry utilities: summarize (``--json`` for machines) /
              (``slo``, exit 0 pass / 1 violation / 2 no data), and
              render a recorded profile (``profile``).
 serve        Offline serving: export an index from a checkpoint, answer
-             top-K queries, micro-benchmark request latency.
+             top-K queries, micro-benchmark request latency, and run
+             the multi-worker HTTP front-end (``serve http``: sharded
+             shared-memory index, admission control, graceful drain;
+             ``--status`` inspects a running one).
 robust       Fault-injection drills: provoke NaN divergence, process
              kills, scoring failures, and checkpoint corruption, and
-             verify the recovery machinery end to end.
+             verify the recovery machinery end to end — including
+             worker kills/stalls against the multi-worker front-end
+             (``inject serve --frontend``).
 
 ``train``, ``compare``, and ``serve bench`` accept ``--telemetry``
 (record spans, metrics, and a run manifest under ``runs/<run_id>/``),
@@ -228,7 +233,43 @@ def build_parser() -> argparse.ArgumentParser:
     bch.add_argument("--fail-rate", type=float, default=0.0,
                      help="also measure the degraded path under this "
                           "injected scoring-failure rate")
+    bch.add_argument("--frontend-workers", type=int, default=0,
+                     metavar="N",
+                     help="also run the multi-worker open-loop overload "
+                          "benchmark with N worker processes")
+    bch.add_argument("--no-kill-drill", action="store_true",
+                     help="skip the worker-kill drill in the frontend "
+                          "benchmark")
     _add_telemetry(bch)
+    htp = serve_sub.add_parser(
+        "http", help="multi-worker HTTP serving front-end")
+    htp.add_argument("index", nargs="?", default=None,
+                     help="index directory (from `repro serve export`); "
+                          "not needed with --status")
+    htp.add_argument("--status", action="store_true",
+                     help="query a running front-end's /status instead "
+                          "of starting one (requires --port)")
+    htp.add_argument("--workers", type=int, default=2,
+                     help="worker processes / index shards (default 2)")
+    htp.add_argument("--host", default="127.0.0.1")
+    htp.add_argument("--port", type=int, default=0,
+                     help="listen port (default: OS-assigned); with "
+                          "--status, the port to query")
+    htp.add_argument("--port-file", default=None, metavar="FILE",
+                     help="write the bound port here once listening "
+                          "(for scripts that pass --port 0)")
+    htp.add_argument("--k", type=int, default=10,
+                     help="default list length when ?k= is omitted")
+    htp.add_argument("--deadline-ms", type=float, default=250.0,
+                     help="default per-request deadline budget; <=0 "
+                          "disables deadlines")
+    htp.add_argument("--queue-depth", type=int, default=256,
+                     help="admission bound: max in-flight requests "
+                          "before shedding (429)")
+    htp.add_argument("--wait-budget-ms", type=float, default=None,
+                     help="also shed when the EWMA queue wait exceeds "
+                          "this")
+    _add_telemetry(htp)
 
     robust = sub.add_parser(
         "robust", help="fault-injection and recovery drills")
@@ -277,6 +318,34 @@ def build_parser() -> argparse.ArgumentParser:
     isv.add_argument("--retries", type=int, default=2)
     isv.add_argument("--k", type=int, default=10)
     isv.add_argument("--seed", type=int, default=0)
+    isv.add_argument("--frontend", action="store_true",
+                     help="drill the multi-worker front-end with "
+                          "process-level faults instead of the "
+                          "in-process engine")
+    isv.add_argument("--workers", type=int, default=2,
+                     help="[--frontend] worker processes")
+    isv.add_argument("--kill-after", type=int, default=None,
+                     metavar="N",
+                     help="[--frontend] kill a worker after it handled "
+                          "N requests")
+    isv.add_argument("--stall-after", type=int, default=None,
+                     metavar="N",
+                     help="[--frontend] wedge a worker (no heartbeats) "
+                          "after N requests")
+    isv.add_argument("--stall-delay", type=float, default=3.0,
+                     help="[--frontend] seconds the stalled worker "
+                          "stays wedged")
+    isv.add_argument("--slow-shard-rate", type=float, default=0.0,
+                     help="[--frontend] per-request probability of "
+                          "injected shard slowness")
+    isv.add_argument("--slow-shard-delay", type=float, default=0.02,
+                     help="[--frontend] injected delay seconds per "
+                          "slow hit")
+    isv.add_argument("--worker", type=int, default=0,
+                     help="[--frontend] which worker the kill/stall "
+                          "targets")
+    isv.add_argument("--qps", type=float, default=200.0,
+                     help="[--frontend] offered open-loop rate")
 
     ick = inject_sub.add_parser(
         "checkpoint", help="flip one checkpoint byte; expect rejection")
@@ -515,6 +584,8 @@ def cmd_serve(args) -> int:
                     if response["fallback"] else ""
                 print(f"user {response['user_id']}: {items}{note}")
             return 0
+        if args.serve_command == "http":
+            return _serve_http(args, load_index)
         from repro.serve.bench import format_results, run_serve_benchmark
         run = _maybe_start_run(args, "serve_bench", model=args.model,
                                dataset=args.dataset,
@@ -522,17 +593,90 @@ def cmd_serve(args) -> int:
         results = run_serve_benchmark(
             model_name=args.model, dataset_name=args.dataset,
             epochs=args.epochs, n_requests=args.requests, k=args.k,
-            index_path=args.index, fail_rate=args.fail_rate)
+            index_path=args.index, fail_rate=args.fail_rate,
+            frontend_workers=args.frontend_workers,
+            frontend_kill_drill=not args.no_kill_drill)
         print(format_results(results))
         final = {"indexed/p99_ms": results["indexed"]["p99_ms"],
                  "indexed/qps": results["indexed"]["qps"]}
         if results.get("speedup_indexed_vs_naive"):
             final["speedup"] = results["speedup_indexed_vs_naive"]
+        frontend = results.get("frontend")
+        if frontend is not None:
+            final["frontend/capacity_qps"] = frontend["capacity_qps"]
         _finish_run(run, final_metrics=final)
         return 0
     except (CheckpointError, IndexFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+def _serve_http(args, load_index) -> int:
+    """``repro serve http``: run (or inspect) the multi-worker edge."""
+    from repro.serve import ServiceConfig
+    from repro.serve.frontend import (FrontendConfig, ServingFrontend,
+                                      fetch_status, run_http_server)
+    if args.status:
+        if not args.port:
+            print("error: --status needs --port PORT", file=sys.stderr)
+            return 2
+        try:
+            status = fetch_status(args.port, args.host)
+        except ConnectionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        fleet = status.get("fleet", {})
+        print(f"frontend on {args.host}:{args.port}: "
+              f"{fleet.get('ready', '?')}/{fleet.get('n_workers', '?')} "
+              f"worker(s) ready, queue depth {status['queue_depth']}, "
+              f"draining={status['draining']}")
+        _print_kv(status["counters"])
+        print(f"  ewma_queue_wait_ms: {status['ewma_queue_wait_ms']}")
+        print(f"  worker_restarts: {fleet.get('total_restarts')}")
+        breakers = fleet.get("breaker_states", {})
+        flag = " (!)" if fleet.get("any_breaker_open") else ""
+        print(f"  breakers: {breakers}{flag}")
+        for shard_id, shard in sorted(fleet.get("shards", {}).items()):
+            breaker = shard.get("breaker") or {}
+            print(f"  shard {shard_id}: {shard['state']} "
+                  f"worker={shard['worker_id']} "
+                  f"gen={shard['generation']} "
+                  f"restarts={shard['restarts']} "
+                  f"handled={shard['handled']} "
+                  f"breaker={breaker.get('state', '-')}")
+        return 0
+    if not args.index:
+        print("error: an index directory is required (or --status)",
+              file=sys.stderr)
+        return 2
+    index = load_index(args.index)
+    run = _maybe_start_run(args, "serve_http", index=args.index,
+                           workers=args.workers)
+    deadline = args.deadline_ms if args.deadline_ms > 0 else None
+    config = FrontendConfig(
+        n_workers=args.workers,
+        service=ServiceConfig(k=args.k),
+        max_queue_depth=args.queue_depth,
+        wait_budget_ms=args.wait_budget_ms,
+        default_deadline_ms=deadline)
+    frontend = ServingFrontend(index, config)
+
+    def _ready(port: int) -> None:
+        print(f"[serve] http://{args.host}:{port} -- {args.workers} "
+              f"worker(s), queue depth {args.queue_depth}, deadline "
+              f"{deadline or 'off'}; GET /recommend?user=U&k=K, "
+              f"/status, /health; SIGTERM drains", flush=True)
+
+    code = run_http_server(frontend, host=args.host, port=args.port,
+                           port_file=args.port_file, ready_message=_ready)
+    counters = dict(frontend.counters)
+    print(f"[serve] drained: {counters['completed']} completed, "
+          f"{counters['shed_requests']} shed, "
+          f"{counters['draining_rejects']} rejected while draining")
+    _finish_run(run, final_metrics={
+        "serve/completed": counters["completed"],
+        "serve/shed_requests": counters["shed_requests"]})
+    return code
 
 
 def _serve_export(args, build_index) -> int:
@@ -570,6 +714,7 @@ def _print_kv(record: dict, skip=()) -> None:
 def cmd_robust(args) -> int:
     from repro.robust import TrainingDivergedError
     from repro.robust.drills import (run_checkpoint_drill,
+                                     run_frontend_drill,
                                      run_serving_drill,
                                      run_training_drill)
     from repro.serve import CheckpointError
@@ -595,6 +740,34 @@ def cmd_robust(args) -> int:
               f"{record['dataset']} -> {status}")
         _print_kv(record, skip=("model", "dataset", "events"))
         return 3 if record["crashed"] else 0
+    if args.inject_target == "serve" and args.frontend:
+        if (args.kill_after is None and args.stall_after is None
+                and args.slow_shard_rate <= 0):
+            print("error: --frontend needs at least one fault "
+                  "(--kill-after / --stall-after / --slow-shard-rate)",
+                  file=sys.stderr)
+            return 2
+        record = run_frontend_drill(
+            model_name=args.model, dataset_name=args.dataset,
+            epochs=args.epochs, n_requests=args.requests,
+            n_workers=args.workers, kill_after=args.kill_after,
+            stall_after=args.stall_after,
+            stall_delay_s=args.stall_delay,
+            slow_rate=args.slow_shard_rate,
+            slow_delay_s=args.slow_shard_delay, worker=args.worker,
+            k=args.k, qps=args.qps, seed=args.seed)
+        passed = record["all_answered"] and record["recovered"]
+        verdict = ("survived: every request answered, fleet recovered"
+                   if passed else
+                   f"{record['hard_failures']} hard failure(s), "
+                   f"{record['fleet_ready']}/{record['n_workers']} "
+                   f"worker(s) ready")
+        print(f"robust inject serve --frontend: {record['model']} on "
+              f"{record['dataset']} "
+              f"({', '.join(record['fault_kinds'])}) -> {verdict}")
+        _print_kv(record, skip=("model", "dataset",
+                                "frontend_counters"))
+        return 0 if passed else 1
     if args.inject_target == "serve":
         record = run_serving_drill(
             model_name=args.model, dataset_name=args.dataset,

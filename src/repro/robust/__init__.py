@@ -21,8 +21,9 @@ halves of the system:
 """
 
 from repro.robust.breaker import CircuitBreaker
-from repro.robust.faults import (FAULT_KINDS, FaultInjectionError,
-                                 FaultPlan, FaultSpec, FaultyIndex,
+from repro.robust.faults import (FAULT_KINDS, PROCESS_KINDS,
+                                 FaultInjectionError, FaultPlan,
+                                 FaultSpec, FaultyIndex,
                                  InjectedScoringError, SimulatedCrash)
 from repro.robust.policies import (BreakerPolicy, ResilienceConfig,
                                    RetryPolicy)
@@ -32,6 +33,7 @@ from repro.robust.training import (TrainingDivergedError,
 
 __all__ = [
     "FAULT_KINDS",
+    "PROCESS_KINDS",
     "FaultInjectionError",
     "FaultPlan",
     "FaultSpec",

@@ -143,6 +143,87 @@ def run_serving_drill(model_name: str = "BPRMF", dataset_name: str = "cd",
     }
 
 
+def run_frontend_drill(model_name: str = "BPRMF",
+                       dataset_name: str = "cd", epochs: int = 2,
+                       n_requests: int = 200, n_workers: int = 2,
+                       kill_after: Optional[int] = None,
+                       stall_after: Optional[int] = None,
+                       stall_delay_s: float = 3.0,
+                       slow_rate: float = 0.0,
+                       slow_delay_s: float = 0.02,
+                       worker: int = 0, k: int = 10,
+                       qps: float = 200.0,
+                       seed: int = 0) -> Dict[str, object]:
+    """Drive the multi-worker front-end through process-level faults.
+
+    Trains a small model, shards its index across ``n_workers``
+    processes, and offers ``n_requests`` open-loop while the requested
+    ``worker_kill`` / ``worker_stall`` / ``slow_shard`` faults fire.
+    The acceptance bar: zero hard failures (every request resolves
+    ``ok``/``shed``), failures surface only as degraded fallbacks, and
+    the supervisor restarts every lost worker.
+    """
+    from repro.data import load_dataset, temporal_split
+    from repro.experiments.runner import build_model
+    from repro.serve.config import ServiceConfig
+    from repro.serve.frontend import (FrontendConfig, ServingFrontend,
+                                      run_open_loop)
+    from repro.serve.index import build_index
+
+    dataset = load_dataset(dataset_name)
+    split = temporal_split(dataset)
+    model = build_model(model_name, dataset, seed=seed)
+    model.config.epochs = int(epochs)
+    model.fit(dataset, split)
+    index = build_index(model, dataset, split)
+    specs = []
+    if kill_after is not None:
+        specs.append(FaultSpec("worker_kill",
+                               after_requests=int(kill_after),
+                               worker=int(worker)))
+    if stall_after is not None:
+        specs.append(FaultSpec("worker_stall",
+                               after_requests=int(stall_after),
+                               delay_s=float(stall_delay_s),
+                               worker=int(worker)))
+    if slow_rate > 0:
+        specs.append(FaultSpec("slow_shard", rate=float(slow_rate),
+                               delay_s=float(slow_delay_s)))
+    plan = FaultPlan(specs, seed=seed)
+    config = FrontendConfig(
+        n_workers=int(n_workers),
+        service=ServiceConfig(k=int(k), cache_size=0),
+        stall_after_s=max(0.5, float(stall_delay_s) / 4),
+        telemetry=False)
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, dataset.n_users,
+                         size=min(int(n_requests), dataset.n_users))
+    with ServingFrontend(index, config, faults=plan) as frontend:
+        outcome = run_open_loop(
+            frontend, users, int(k), offered_qps=float(qps),
+            duration_s=int(n_requests) / float(qps))
+        restarts = frontend.supervisor.total_restarts
+        fleet = frontend.supervisor.fleet_health()
+        counters = dict(frontend.counters)
+    return {
+        "model": model_name,
+        "dataset": dataset_name,
+        "n_workers": int(n_workers),
+        "fault_kinds": sorted({s.kind for s in specs}),
+        "n_offered": outcome["n_offered"],
+        "n_ok": outcome["completed"],
+        "n_degraded": outcome["degraded"],
+        "n_shed": outcome["shed"],
+        "hard_failures": outcome["hard_failures"],
+        "all_answered": outcome["hard_failures"] == 0,
+        "worker_restarts": restarts,
+        "fleet_ready": fleet["ready"],
+        "recovered": fleet["ready"] == int(n_workers),
+        "p99_ms": outcome["p99_ms"],
+        "frontend_counters": counters,
+    }
+
+
 def run_checkpoint_drill(path, seed: int = 0) -> Dict[str, object]:
     """Corrupt one byte of a checkpoint and verify loading rejects it.
 

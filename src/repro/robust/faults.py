@@ -25,6 +25,20 @@ Fault kinds
 ``score_delay``
     Each guarded scoring call sleeps ``delay_s`` with probability
     ``rate`` (exercises request timeouts).
+``worker_kill``
+    A serving worker process calls ``os._exit`` after handling
+    ``after_requests`` requests — the front-end supervisor must detect
+    the dead process, fail its in-flight work over to the degraded
+    fallback, and restart it (:mod:`repro.serve.frontend`).
+``worker_stall``
+    A worker stops serving *and* heartbeating for ``delay_s`` seconds
+    after ``after_requests`` requests — the live-process-but-wedged
+    failure mode that only heartbeat ageing can catch.
+``slow_shard``
+    Requests routed to shard ``shard`` (every shard when ``None``)
+    sleep ``delay_s`` with probability ``rate`` before scoring —
+    drives queue growth, deadline expiry, and load shedding on one
+    slice of the user space.
 
 Training faults fire **once** by default (``once=True``): after the
 recovery machinery rolls the run back, the retry proceeds cleanly —
@@ -45,7 +59,8 @@ import numpy as np
 
 TRAINING_KINDS = ("nan_grad", "nan_param", "kill")
 SCORING_KINDS = ("score_error", "score_delay")
-FAULT_KINDS = TRAINING_KINDS + SCORING_KINDS
+PROCESS_KINDS = ("worker_kill", "worker_stall", "slow_shard")
+FAULT_KINDS = TRAINING_KINDS + SCORING_KINDS + PROCESS_KINDS
 
 
 class FaultInjectionError(Exception):
@@ -66,11 +81,14 @@ class FaultSpec:
 
     kind: str
     epoch: Optional[int] = None     # nan_grad / nan_param / kill
-    rate: float = 0.0               # score_error / score_delay
-    delay_s: float = 0.0            # score_delay
+    rate: float = 0.0               # score_error / score_delay / slow_shard
+    delay_s: float = 0.0            # score_delay / worker_stall / slow_shard
     param_index: int = 0            # which parameter to poison
     once: bool = True               # training faults fire a single time
     max_faults: Optional[int] = None  # cap on scoring-fault firings
+    after_requests: Optional[int] = None  # worker_kill / worker_stall
+    worker: int = 0                 # target worker id (process faults)
+    shard: Optional[int] = None     # slow_shard target (None = every shard)
     fired: int = field(default=0, compare=False)
 
     def __post_init__(self):
@@ -79,11 +97,22 @@ class FaultSpec:
                              f"known: {list(FAULT_KINDS)}")
         if self.kind in TRAINING_KINDS and self.epoch is None:
             raise ValueError(f"{self.kind} fault needs an epoch")
-        if self.kind in SCORING_KINDS and not 0.0 <= self.rate <= 1.0:
+        if (self.kind in SCORING_KINDS + ("slow_shard",)
+                and not 0.0 <= self.rate <= 1.0):
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if (self.kind in ("worker_kill", "worker_stall")
+                and self.after_requests is None):
+            raise ValueError(f"{self.kind} fault needs after_requests")
+        if self.kind == "worker_stall" and self.delay_s <= 0:
+            raise ValueError(
+                f"worker_stall needs a positive delay_s, "
+                f"got {self.delay_s}")
+        if self.kind == "slow_shard" and self.delay_s <= 0:
+            raise ValueError(
+                f"slow_shard needs a positive delay_s, got {self.delay_s}")
 
     def exhausted(self) -> bool:
-        if self.kind in TRAINING_KINDS:
+        if self.kind in TRAINING_KINDS + ("worker_kill", "worker_stall"):
             return self.once and self.fired > 0
         return self.max_faults is not None and self.fired >= self.max_faults
 

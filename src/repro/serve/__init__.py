@@ -18,6 +18,10 @@ The subsystem turns a trained in-memory model into deployable artifacts:
   popularity fallback) for unknown users and failed scoring.
 * :mod:`repro.serve.bench` — the load harness behind
   ``benchmarks/bench_serve.py`` and ``repro serve bench``.
+* :mod:`repro.serve.frontend` — the multi-worker scale-out layer:
+  shared-memory index shards served by supervised worker processes
+  behind an admission-controlled asyncio HTTP edge
+  (``repro serve http``), with open-loop overload benchmarking.
 """
 
 from repro.serve.checkpoint import (CHECKPOINT_VERSION, CheckpointError,
@@ -27,6 +31,7 @@ from repro.serve.config import FALLBACK_MODES, ServiceConfig
 from repro.serve.index import (INDEX_VERSION, IndexFormatError,
                                RetrievalIndex, build_index, load_index)
 from repro.serve.engine import RecommendService
+from repro.serve.frontend import FrontendConfig, ServingFrontend
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -42,4 +47,6 @@ __all__ = [
     "FALLBACK_MODES",
     "ServiceConfig",
     "RecommendService",
+    "FrontendConfig",
+    "ServingFrontend",
 ]

@@ -80,7 +80,10 @@ def run_serve_benchmark(model_name: str = "LogiRec++",
                         n_requests: int = 200, batch_size: int = 32,
                         k: int = 10, seed: int = 0,
                         index_path=None,
-                        fail_rate: float = 0.0) -> Dict[str, object]:
+                        fail_rate: float = 0.0,
+                        frontend_workers: int = 0,
+                        frontend_kill_drill: bool = True
+                        ) -> Dict[str, object]:
     """Measure the request paths; returns the results dict.
 
     ``epochs`` is tiny on purpose: request latency does not depend on
@@ -88,6 +91,9 @@ def run_serve_benchmark(model_name: str = "LogiRec++",
     With ``index_path`` the saved index is benchmarked as-is (no
     training, no naive path).  ``fail_rate > 0`` adds a ``degraded``
     path measured under injected scoring failures.
+    ``frontend_workers > 0`` appends the multi-worker open-loop
+    overload benchmark (:func:`~repro.serve.frontend.
+    run_frontend_benchmark`) over the same index as ``frontend``.
     """
     from repro.serve.config import ServiceConfig
     from repro.serve.engine import RecommendService
@@ -193,6 +199,12 @@ def run_serve_benchmark(model_name: str = "LogiRec++",
         results["degraded"] = degraded
     from repro.obs.slo import evaluate_serve_results
     results["slo"] = evaluate_serve_results(results)
+    if frontend_workers > 0:
+        from repro.serve.frontend import run_frontend_benchmark
+        with obs.trace("frontend_bench", n_workers=frontend_workers):
+            results["frontend"] = run_frontend_benchmark(
+                index, n_workers=int(frontend_workers), k=k, seed=seed,
+                kill_drill=frontend_kill_drill)
     return results
 
 
@@ -220,4 +232,8 @@ def format_results(results: Dict[str, object]) -> str:
     if slo is not None:
         from repro.obs.slo import format_report
         lines.append(format_report(slo))
+    frontend = results.get("frontend")
+    if frontend is not None:
+        from repro.serve.frontend import format_frontend_results
+        lines.append(format_frontend_results(frontend))
     return "\n".join(lines)

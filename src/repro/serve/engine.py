@@ -14,7 +14,11 @@ configured by one :class:`~repro.serve.ServiceConfig`:
 * **Resilience** — every scoring call is guarded by the config's
   :class:`~repro.robust.policies.RetryPolicy` (retry with exponential
   backoff, per-request deadline) behind an error-rate
-  :class:`~repro.robust.CircuitBreaker`.  A request whose scoring
+  :class:`~repro.robust.CircuitBreaker`.  Callers can additionally
+  propagate absolute per-request deadlines (and front-end admission
+  timestamps) into :meth:`RecommendService.query_batch`, which is how
+  the multi-worker front-end (:mod:`repro.serve.frontend`) threads its
+  edge deadline through queue wait into worker scoring.  A request whose scoring
   ultimately fails — or arrives while the breaker is open — degrades to
   the configured fallback (stale index and/or popularity) instead of
   erroring: the engine's contract is that ``query_batch`` returns a
@@ -44,6 +48,30 @@ from repro.serve.config import ServiceConfig
 from repro.serve.index import RetrievalIndex
 
 LOG = obs.get_logger(__name__)
+
+
+def popularity_items(index, uid: Optional[int], k: int,
+                     exclude_seen: bool = True) -> np.ndarray:
+    """Popularity top-K from ``index``; seen items masked for known users.
+
+    Module-level so the multi-worker front-end can serve the same
+    degraded ranking from the parent process (no worker round trip)
+    that the in-process engine serves — the two fallback paths agree
+    by construction.
+    """
+    popularity = index.popularity
+    if (uid is None or not exclude_seen
+            or not 0 <= uid < index.n_users):
+        return popularity[:k].astype(np.int64)
+    seen = set(int(i) for i in index.seen_items(uid))
+    unseen = [int(i) for i in popularity if int(i) not in seen]
+    items = unseen[:k]
+    if len(items) < k:
+        # Tiny catalogs: pad with the most popular seen items so the
+        # list is still k long and duplicate-free.
+        items += [int(i) for i in popularity
+                  if int(i) not in items][:k - len(items)]
+    return np.asarray(items, dtype=np.int64)
 
 
 class RecommendService:
@@ -131,29 +159,48 @@ class RecommendService:
     # ------------------------------------------------------------------
     # Guarded scoring (retry + deadline + breaker bookkeeping)
     # ------------------------------------------------------------------
-    def _score_guarded(self, uid: int) -> Optional[np.ndarray]:
+    def _score_guarded(self, uid: int,
+                       deadline: Optional[float] = None
+                       ) -> Optional[np.ndarray]:
         """One user's exact score row, or None after the retry budget.
 
-        Failures counted here: exceptions out of the index and calls
-        that blow the per-request deadline (the engine cannot preempt a
-        running numpy kernel, so the deadline is checked after the
-        fact — injected delays and real stalls both register).  The
-        request's *final* outcome feeds the circuit breaker exactly
-        once.
+        Failures counted here: exceptions out of the index, calls that
+        blow the policy's per-call timeout, and calls that blow the
+        request's absolute ``deadline`` (``time.monotonic()`` seconds —
+        the engine cannot preempt a running numpy kernel, so both are
+        checked after the fact; injected delays and real stalls both
+        register).  A deadline that expires before *any* scoring was
+        attempted still degrades the request — and increments
+        ``timeouts`` — but does not feed the circuit breaker: the index
+        was never exercised, so its health is unknown.  Otherwise the
+        request's *final* outcome feeds the breaker exactly once.
         """
         policy = self.config.retry
+        attempted = False
         for attempt in range(policy.retries + 1):
+            if (deadline is not None
+                    and time.monotonic() >= deadline):
+                self.stats["timeouts"] += 1
+                obs.count("serve/timeouts")
+                obs.trace_event("serve/deadline_exceeded", user=uid,
+                                attempt=attempt, scored=attempted)
+                break
             if attempt:
                 self.stats["retries"] += 1
                 obs.count("serve/retries")
                 obs.trace_event("serve/retry", user=uid, attempt=attempt)
                 if policy.backoff_s > 0:
-                    time.sleep(policy.backoff_s * (2 ** (attempt - 1)))
+                    pause = policy.backoff_s * (2 ** (attempt - 1))
+                    if deadline is not None:
+                        pause = min(pause,
+                                    max(0.0, deadline - time.monotonic()))
+                    time.sleep(pause)
             start = time.perf_counter()
             try:
                 with obs.trace("serve/score", user=uid, attempt=attempt):
                     row = self.index.score_user(uid)
             except Exception as exc:
+                attempted = True
                 self.stats["scoring_failures"] += 1
                 obs.count("serve/scoring_failures")
                 obs.trace_event("serve/scoring_error", user=uid,
@@ -161,6 +208,7 @@ class RecommendService:
                 LOG.warning("scoring user %d failed (attempt %d/%d): %s",
                             uid, attempt + 1, policy.retries + 1, exc)
                 continue
+            attempted = True
             if (policy.timeout_s is not None
                     and time.perf_counter() - start > policy.timeout_s):
                 self.stats["timeouts"] += 1
@@ -169,9 +217,18 @@ class RecommendService:
                 obs.count("serve/scoring_failures")
                 obs.trace_event("serve/timeout", user=uid, attempt=attempt)
                 continue
+            if deadline is not None and time.monotonic() > deadline:
+                self.stats["timeouts"] += 1
+                self.stats["scoring_failures"] += 1
+                obs.count("serve/timeouts")
+                obs.count("serve/scoring_failures")
+                obs.trace_event("serve/deadline_exceeded", user=uid,
+                                attempt=attempt, scored=True)
+                continue
             self._record_outcome(True)
             return row
-        self._record_outcome(False)
+        if attempted:
+            self._record_outcome(False)
         return None
 
     def _record_outcome(self, ok: bool) -> None:
@@ -192,19 +249,8 @@ class RecommendService:
     # ------------------------------------------------------------------
     def _popularity_items(self, uid: Optional[int], k: int) -> np.ndarray:
         """Popularity top-K; seen items masked for known users."""
-        popularity = self.index.popularity
-        if (uid is None or not self.config.exclude_seen
-                or not 0 <= uid < self.index.n_users):
-            return popularity[:k].astype(np.int64)
-        seen = set(int(i) for i in self.index.seen_items(uid))
-        unseen = [int(i) for i in popularity if int(i) not in seen]
-        items = unseen[:k]
-        if len(items) < k:
-            # Tiny catalogs: pad with the most popular seen items so the
-            # list is still k long and duplicate-free.
-            items += [int(i) for i in popularity
-                      if int(i) not in items][:k - len(items)]
-        return np.asarray(items, dtype=np.int64)
+        return popularity_items(self.index, uid, k,
+                                self.config.exclude_seen)
 
     def _degraded_items(self, uid: int, k: int) -> "tuple[np.ndarray, str]":
         """Best available ranking when primary scoring is unavailable."""
@@ -253,7 +299,9 @@ class RecommendService:
         return self.query_batch([user_id], k=k)[0]
 
     def query_batch(self, user_ids: Sequence[int],
-                    k: Optional[int] = None) -> List[Dict[str, object]]:
+                    k: Optional[int] = None, *,
+                    deadlines=None,
+                    enqueued_at=None) -> List[Dict[str, object]]:
         """Top-K for each requested user.
 
         Returns one dict per request, in request order::
@@ -268,25 +316,48 @@ class RecommendService:
         fallback; scoring failures and an open breaker degrade to the
         configured fallback.  Every request gets a ranked list — the
         engine never lets a scoring exception escape.
+
+        ``deadlines`` propagates per-request absolute deadlines
+        (``time.monotonic()`` seconds; a scalar applies to the whole
+        batch, ``None`` entries disable the check).  A request past its
+        deadline degrades to the fallback instead of scoring further —
+        see :meth:`_score_guarded`.
+
+        ``enqueued_at`` carries per-request admission timestamps
+        (``time.monotonic()`` seconds) from a front-end queue: the
+        recorded ``serve/latency_ms`` then spans admission →
+        completion — what the caller actually experienced — and the
+        admission → batch-entry gap lands in ``serve/queue_wait_ms``.
+        Without it both default to batch entry (zero queue wait).
         """
         k = self.config.k if k is None else int(k)
         user_ids = [int(u) for u in user_ids]
+        if deadlines is None or isinstance(deadlines, (int, float)):
+            deadlines = [deadlines] * len(user_ids)
+        else:
+            deadlines = list(deadlines)
         # One enabled() check per batch gates all per-request telemetry
         # (trace minting, binding, latency recording) so the disabled
         # path stays within the 2% overhead budget.
         telemetry = obs.enabled()
         ctxs: List[Optional[obs.TraceContext]] = [None] * len(user_ids)
-        t_batch = time.perf_counter() if telemetry else 0.0
+        t_batch = time.monotonic() if telemetry else 0.0
         with obs.trace("serve/query_batch", n_requests=len(user_ids),
                        k=k):
             results: List[Optional[Dict[str, object]]] = (
                 [None] * len(user_ids))
 
             def _complete(pos: int) -> None:
-                # Per-request latency is batch entry → this request's
-                # completion: queueing-honest for micro-batched work.
+                # Per-request latency is admission (enqueued_at, when
+                # the caller supplied it; batch entry otherwise) → this
+                # request's completion: honest about both front-end
+                # queueing and micro-batched work.
                 result = results[pos]
-                dur = time.perf_counter() - t_batch
+                enq = t_batch if enqueued_at is None \
+                    else float(enqueued_at[pos])
+                obs.observe_hdr("serve/queue_wait_ms",
+                                max(0.0, t_batch - enq) * 1e3)
+                dur = time.monotonic() - enq
                 obs.observe_hdr("serve/latency_ms", dur * 1e3)
                 obs.record_span("serve/request", dur,
                                 user=result["user_id"],
@@ -332,7 +403,7 @@ class RecommendService:
                     results[pos] = self._fallback_response(uid, k,
                                                            degraded=True)
                     return False
-                row = self._score_guarded(uid)
+                row = self._score_guarded(uid, deadline=deadlines[pos])
                 if row is None:
                     results[pos] = self._fallback_response(uid, k,
                                                            degraded=True)

@@ -1,0 +1,121 @@
+"""Deployment configuration for the multi-worker serving front-end.
+
+:class:`FrontendConfig` is to :class:`~repro.serve.frontend.core.
+ServingFrontend` what :class:`~repro.serve.ServiceConfig` is to the
+in-process engine: one frozen dataclass holding every knob the
+front-end is allowed to decide per deployment — worker count, admission
+bounds, deadline defaults, micro-batch shape, and supervisor timing.
+The nested :class:`ServiceConfig` is handed verbatim to every worker's
+engine, so per-worker behaviour (retries, breaker, cache, fallback)
+stays declared in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.serve.config import ServiceConfig
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Everything the multi-worker front-end decides per deployment.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes; the user space is range-sharded into exactly
+        this many shards, one worker per shard.
+    service:
+        Per-worker :class:`~repro.serve.ServiceConfig` (list length,
+        LRU cache, retry/breaker policies, fallback mode).
+    max_queue_depth:
+        Admission bound: with this many admitted-but-unresolved
+        requests in the system, new arrivals are shed (HTTP 429,
+        ``shed_requests`` counter) instead of queueing unboundedly.
+    wait_budget_ms:
+        Second shedding trigger: when the EWMA of recently observed
+        queue waits exceeds this budget, arrivals are shed until the
+        backlog drains.  ``None`` disables it (depth bound only).
+    default_deadline_ms:
+        Deadline attached to requests that do not carry their own;
+        ``None`` means no deadline.  The deadline propagates from
+        admission through queue wait into worker scoring.
+    batch_window_ms:
+        How long the dispatcher waits for concurrent arrivals to
+        coalesce into one per-shard micro-batch.
+    max_batch:
+        Micro-batch ceiling per dispatch per shard.
+    heartbeat_interval_s:
+        Worker heartbeat period while idle (busy workers heartbeat via
+        their result messages).
+    stall_after_s:
+        A worker whose last heartbeat is older than this is declared
+        stalled, killed, and restarted.  Must comfortably exceed
+        ``heartbeat_interval_s`` plus the longest legitimate batch.
+    health_check_interval_s:
+        Supervisor poll period for crash/stall detection.
+    start_timeout_s:
+        How long to wait for every worker's first heartbeat at startup
+        (and for a replacement worker to warm up) before giving up.
+    drain_timeout_s:
+        Graceful-drain budget: how long :meth:`ServingFrontend.drain`
+        waits for in-flight requests before force-stopping.
+    telemetry:
+        Record front-end counters/histograms/trace events through
+        :mod:`repro.obs` when a run is active.  Fault drills that would
+        pollute a run's SLO numbers (deliberate kill benchmarks) turn
+        this off.
+    """
+
+    n_workers: int = 2
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+    max_queue_depth: int = 256
+    wait_budget_ms: Optional[float] = None
+    default_deadline_ms: Optional[float] = 250.0
+    batch_window_ms: float = 2.0
+    max_batch: int = 64
+    heartbeat_interval_s: float = 0.1
+    stall_after_s: float = 2.0
+    health_check_interval_s: float = 0.1
+    start_timeout_s: float = 30.0
+    drain_timeout_s: float = 10.0
+    telemetry: bool = True
+
+    def __post_init__(self):
+        if self.n_workers <= 0:
+            raise ValueError(
+                f"n_workers must be positive, got {self.n_workers}")
+        if self.max_queue_depth <= 0:
+            raise ValueError(f"max_queue_depth must be positive, "
+                             f"got {self.max_queue_depth}")
+        if self.wait_budget_ms is not None and self.wait_budget_ms <= 0:
+            raise ValueError(f"wait_budget_ms must be positive or None, "
+                             f"got {self.wait_budget_ms}")
+        if (self.default_deadline_ms is not None
+                and self.default_deadline_ms <= 0):
+            raise ValueError(
+                f"default_deadline_ms must be positive or None, "
+                f"got {self.default_deadline_ms}")
+        if self.batch_window_ms < 0:
+            raise ValueError(f"batch_window_ms must be >= 0, "
+                             f"got {self.batch_window_ms}")
+        if self.max_batch <= 0:
+            raise ValueError(
+                f"max_batch must be positive, got {self.max_batch}")
+        for name in ("heartbeat_interval_s", "stall_after_s",
+                     "health_check_interval_s", "start_timeout_s",
+                     "drain_timeout_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, "
+                                 f"got {getattr(self, name)}")
+        if self.stall_after_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                f"stall_after_s ({self.stall_after_s}) must exceed "
+                f"heartbeat_interval_s ({self.heartbeat_interval_s}); "
+                f"healthy idle workers would look stalled")
+
+    def with_overrides(self, **overrides) -> "FrontendConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return replace(self, **overrides)

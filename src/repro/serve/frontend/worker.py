@@ -1,0 +1,232 @@
+"""Worker-process entry point for the multi-worker serving front-end.
+
+Each worker owns one user-range shard: it attaches the shard's
+shared-memory tables zero-copy (:func:`~repro.serve.frontend.sharding.
+attach_shard`), builds a plain in-process
+:class:`~repro.serve.RecommendService` over the local view, and serves
+micro-batches from its request queue.  All the per-request semantics —
+retry/deadline guards, circuit breaker, LRU cache, fallback ranking —
+are the engine's, unchanged; this module only adds the process shell:
+
+* **id translation** — requests carry global user ids; the worker
+  subtracts its shard's ``lo`` at the boundary and adds it back in
+  responses, so the engine sees a dense local universe.
+* **heartbeats** — while idle the worker emits a heartbeat every
+  ``heartbeat_interval_s`` carrying its engine stats and breaker
+  snapshot; result messages carry the same payload, so a busy worker
+  is never mistaken for a stalled one and the supervisor's per-shard
+  health view is always one message old at worst.
+* **deadline pre-shed** — a request whose absolute deadline expired
+  while sitting in the inter-process queue is answered ``"shed"``
+  without touching the engine (no scoring, no breaker feed); the
+  front-end maps that to the load-shedding path.
+* **fault hooks** — process-level :class:`~repro.robust.FaultSpec`
+  kinds (``worker_kill`` / ``worker_stall`` / ``slow_shard``) fire here
+  so ``repro robust inject serve`` and the kill-drill benchmark can
+  exercise crash detection, stall detection, and hot-shard overload
+  deterministically.
+
+Observability in the child is quiesced at entry: the worker nulls the
+inherited run globals (without closing the parent's sink — the file
+descriptor is re-pointed at ``/dev/null`` first) and ships raw stats
+upward; the parent's response pump re-emits telemetry under the
+original request traces, keeping ``events.jsonl`` single-writer.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.robust.faults import FaultPlan, FaultSpec
+from repro.serve.engine import RecommendService
+from repro.serve.frontend.config import FrontendConfig
+from repro.serve.frontend.sharding import ShardLayout, attach_shard
+
+# Queue message tags (worker → parent).
+HEARTBEAT = "heartbeat"
+RESULT = "result"
+BYE = "bye"
+
+# Parent → worker shutdown sentinel.
+SHUTDOWN = None
+
+# Exit code for the injected worker_kill fault, so tests and the
+# supervisor log can tell a drill kill from a real crash.
+KILL_EXIT_CODE = 17
+
+
+def _quiesce_observability() -> None:
+    """Disable inherited telemetry without disturbing the parent's sink.
+
+    The front-end forks workers while a run may be active.  Calling
+    ``obs.disable()`` here would close the inherited ``events.jsonl``
+    handle — flushing whatever the fork captured into the parent's
+    stream.  Instead the sink's file descriptor is re-pointed at
+    ``/dev/null`` (parent's descriptor is untouched; fd tables are
+    per-process) and the run globals are nulled, so every obs helper in
+    the child is a no-op from the first instruction of the worker loop.
+    """
+    from repro.obs import run as run_mod
+    active = run_mod._RUN
+    if active is not None:
+        fh = getattr(active._sink, "_fh", None)
+        if fh is not None:
+            try:
+                devnull = os.open(os.devnull, os.O_WRONLY)
+                os.dup2(devnull, fh.fileno())
+                os.close(devnull)
+            except OSError:  # pragma: no cover - sink already closed
+                pass
+    run_mod._RUN = None
+    run_mod._NAN_CHECKS = False
+
+
+class _FaultState:
+    """Worker-local view of the process-level fault specs.
+
+    The worker counts requests *handled* (not batches); ``worker_kill``
+    and ``worker_stall`` trigger the first time the running count
+    reaches ``after_requests``.  The plan's ``fired`` bookkeeping lives
+    in whichever process fired the fault, which for a kill is the
+    process that just died — so once-by-default semantics are enforced
+    by *generation*: a replacement worker (generation > 1) skips
+    ``once=True`` faults, exactly as an exhausted spec would be skipped
+    in-process.  ``slow_shard`` draws from a generator seeded by
+    ``(plan seed, worker id)`` so the delay schedule is replayable per
+    worker without coordinating across processes.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan], worker_id: int,
+                 shard_id: int, generation: int):
+        self.kill_spec: Optional[FaultSpec] = None
+        self.stall_spec: Optional[FaultSpec] = None
+        self.slow_specs: List[FaultSpec] = []
+        self.stall_fired = False
+        seed = plan.seed if plan is not None else 0
+        self.rng = np.random.default_rng((seed, worker_id))
+        if plan is None:
+            return
+        replacement = generation > 1
+        for spec in plan.specs:
+            if spec.kind == "worker_kill" and spec.worker == worker_id:
+                if not (spec.once and replacement):
+                    self.kill_spec = spec
+            elif spec.kind == "worker_stall" and spec.worker == worker_id:
+                if not (spec.once and replacement):
+                    self.stall_spec = spec
+            elif spec.kind == "slow_shard" and spec.shard in (None,
+                                                              shard_id):
+                self.slow_specs.append(spec)
+
+    def kill_due(self, handled: int) -> bool:
+        return (self.kill_spec is not None
+                and handled >= self.kill_spec.after_requests)
+
+    def stall_due(self, handled: int) -> Optional[float]:
+        if (self.stall_spec is not None and not self.stall_fired
+                and handled >= self.stall_spec.after_requests):
+            self.stall_fired = True
+            return self.stall_spec.delay_s
+        return None
+
+    def slow_delay(self, n_requests: int) -> float:
+        """Total injected delay for a batch of ``n_requests``."""
+        total = 0.0
+        for spec in self.slow_specs:
+            hits = int(np.count_nonzero(
+                self.rng.random(n_requests) < spec.rate))
+            total += hits * spec.delay_s
+        return total
+
+
+def worker_main(worker_id: int, generation: int, layout: ShardLayout,
+                shard_id: int, config: FrontendConfig, request_queue,
+                response_queue,
+                faults: Optional[FaultPlan] = None) -> None:
+    """Run one shard worker until the shutdown sentinel (fork target).
+
+    Request messages are ``(batch_id, requests)`` with each request a
+    ``(req_id, user_id, k, deadline, t_admit)`` tuple (global user id;
+    ``deadline``/``t_admit`` in ``time.monotonic()`` seconds, deadline
+    may be None).  Responses are tagged tuples — see the module
+    constants — and every response carries ``generation`` so the parent
+    can drop messages from a worker it has already replaced.
+    """
+    _quiesce_observability()
+    shard = attach_shard(layout, shard_id)
+    engine = RecommendService(shard.index, config.service)
+    fault_state = _FaultState(faults, worker_id, shard_id, generation)
+    handled = 0
+
+    def _payload() -> Tuple[Dict[str, int], dict]:
+        return dict(engine.stats), engine.breaker.snapshot()
+
+    def _heartbeat() -> None:
+        stats, breaker = _payload()
+        response_queue.put((HEARTBEAT, worker_id, generation,
+                            time.monotonic(), handled, stats, breaker))
+
+    try:
+        _heartbeat()  # "ready": releases the supervisor's start wait
+        while True:
+            try:
+                message = request_queue.get(
+                    timeout=config.heartbeat_interval_s)
+            except queue.Empty:
+                _heartbeat()
+                continue
+            if message is SHUTDOWN:
+                break
+            batch_id, requests = message
+            t_start = time.monotonic()  # queue wait ends here
+            handled += len(requests)
+            if fault_state.kill_due(handled):
+                # Injected crash mid-batch: die without responding, so
+                # the supervisor must fail over the in-flight work.
+                os._exit(KILL_EXIT_CODE)
+            stall = fault_state.stall_due(handled)
+            if stall is not None:
+                # Wedged, not dead: no serving, no heartbeats.  Only
+                # heartbeat ageing can catch this.
+                time.sleep(stall)
+            delay = fault_state.slow_delay(len(requests))
+            if delay > 0:
+                time.sleep(delay)
+            now = time.monotonic()
+            shed: List[Tuple[int, str]] = []
+            live: List[Tuple[int, int, int, Optional[float], float]] = []
+            for req in requests:
+                req_id, uid, k, deadline, t_admit = req
+                if deadline is not None and now >= deadline:
+                    shed.append((req_id, "deadline"))
+                else:
+                    live.append(req)
+            entries: List[Tuple[int, object]] = [
+                (req_id, reason) for req_id, reason in shed]
+            by_k: Dict[int, List[Tuple[int, int, Optional[float], float]]]
+            by_k = {}
+            for req_id, uid, k, deadline, t_admit in live:
+                by_k.setdefault(k, []).append(
+                    (req_id, uid, deadline, t_admit))
+            for k, group in by_k.items():
+                local = [uid - shard.lo for _, uid, _, _ in group]
+                results = engine.query_batch(
+                    local, k,
+                    deadlines=[deadline for _, _, deadline, _ in group])
+                for (req_id, uid, _, _), result in zip(group, results):
+                    result["user_id"] = uid  # back to the global id
+                    entries.append((req_id, result))
+            stats, breaker = _payload()
+            response_queue.put((RESULT, worker_id, generation, batch_id,
+                                t_start, entries, stats, breaker))
+    finally:
+        try:
+            response_queue.put((BYE, worker_id, generation))
+        except Exception:  # pragma: no cover - queue torn down first
+            pass
+        shard.close()

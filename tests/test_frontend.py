@@ -1,0 +1,418 @@
+"""Multi-worker serving front-end: sharding, admission, supervision.
+
+The load-bearing guarantees under test:
+
+* **Sharding is invisible** — a shard attached from shared memory
+  scores bit-identically to the original index (embeddings, CSR seen
+  masks, popularity), including empty shards and single-user shards.
+* **An admitted request always gets an answer** — worker kills and
+  stalls surface as degraded popularity fallbacks and supervisor
+  restarts, never as client-visible errors; graceful drain resolves
+  every in-flight future.
+* **Deadlines propagate end to end** — dead-on-arrival requests are
+  rejected at admission, requests that expire waiting in a queue are
+  shed without scoring, and requests that expire mid-scoring feed the
+  engine's ``timeouts`` counter.
+
+The worker fleet uses real forked processes and shared memory, so the
+process-spawning tests share one module-scoped index and keep their
+request counts small; timing margins are generous for 1-CPU CI boxes.
+"""
+
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.robust import FaultPlan, FaultSpec
+from repro.serve import RecommendService, ServiceConfig
+from repro.serve.engine import popularity_items
+from repro.serve.frontend import (FrontendConfig, ServingFrontend,
+                                  attach_shard, create_shards,
+                                  estimate_capacity, run_open_loop,
+                                  shard_boundaries)
+from repro.serve.index import RetrievalIndex
+
+
+def toy_index(n_users=50, n_items=40, dim=8, seed=0) -> RetrievalIndex:
+    """A small ``dot``-kind index with random CSR seen lists.
+
+    Users whose drawn interaction count is zero exercise the
+    zero-interaction regression: their CSR row is empty and scoring
+    must not mask anything.
+    """
+    rng = np.random.default_rng(seed)
+    user = rng.normal(size=(n_users, dim))
+    item = rng.normal(size=(n_items, dim))
+    indptr = [0]
+    indices = []
+    for _ in range(n_users):
+        seen = rng.choice(n_items, size=rng.integers(0, 5), replace=False)
+        indices.extend(sorted(int(i) for i in seen))
+        indptr.append(len(indices))
+    counts = np.bincount(np.array(indices, dtype=np.int64),
+                         minlength=n_items)
+    popularity = np.argsort(-counts, kind="stable").astype(np.int64)
+    return RetrievalIndex(
+        kind="dot", arrays={"user": user, "item": item}, scalars={},
+        train_indptr=np.array(indptr, dtype=np.int64),
+        train_indices=np.array(indices, dtype=np.int64),
+        popularity=popularity,
+        meta={"n_users": n_users, "n_items": n_items})
+
+
+@pytest.fixture(scope="module")
+def index() -> RetrievalIndex:
+    return toy_index()
+
+
+def _config(**overrides) -> FrontendConfig:
+    base = dict(n_workers=2, service=ServiceConfig(k=10, cache_size=0),
+                batch_window_ms=1.0, start_timeout_s=60.0)
+    base.update(overrides)
+    return FrontendConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# Sharding: boundaries, bit-identity, hostile shapes
+# ----------------------------------------------------------------------
+class TestSharding:
+    def test_boundaries_partition_the_user_space(self):
+        for n_users, n_shards in [(50, 2), (7, 3), (3, 5), (1, 1)]:
+            bounds = shard_boundaries(n_users, n_shards)
+            assert len(bounds) == n_shards
+            assert bounds[0][0] == 0 and bounds[-1][1] == n_users
+            for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                assert hi == lo
+        with pytest.raises(ValueError):
+            shard_boundaries(10, 0)
+
+    def test_attached_shards_score_bit_identically(self, index):
+        arena = create_shards(index, 3)
+        try:
+            for spec in arena.layout.shards:
+                shard = attach_shard(arena.layout, spec.shard_id)
+                try:
+                    for uid in range(spec.lo, spec.hi):
+                        local = uid - spec.lo
+                        assert np.array_equal(
+                            shard.index.score_user(local),
+                            index.score_user(uid))
+                        assert np.array_equal(
+                            shard.index.seen_items(local),
+                            index.seen_items(uid))
+                    assert np.array_equal(shard.index.popularity,
+                                          index.popularity)
+                finally:
+                    shard.close()
+        finally:
+            arena.close()
+
+    def test_more_shards_than_users(self):
+        tiny = toy_index(n_users=3, n_items=10)
+        arena = create_shards(tiny, 5)
+        try:
+            layout = arena.layout
+            populated = [s for s in layout.shards if s.n_users]
+            empty = [s for s in layout.shards if not s.n_users]
+            assert len(populated) == 3 and len(empty) == 2
+            # Single-user shards score their one row correctly ...
+            for spec in populated:
+                shard = attach_shard(layout, spec.shard_id)
+                try:
+                    assert np.array_equal(shard.index.score_user(0),
+                                          tiny.score_user(spec.lo))
+                finally:
+                    shard.close()
+            # ... and empty shards attach without blowing up.
+            shard = attach_shard(layout, empty[0].shard_id)
+            try:
+                assert shard.index.n_users == 0
+            finally:
+                shard.close()
+        finally:
+            arena.close()
+
+    def test_shard_for_user(self, index):
+        arena = create_shards(index, 4)
+        try:
+            layout = arena.layout
+            for uid in range(index.n_users):
+                spec = layout.shards[layout.shard_for_user(uid)]
+                assert spec.lo <= uid < spec.hi
+            with pytest.raises(KeyError):
+                layout.shard_for_user(index.n_users)
+        finally:
+            arena.close()
+
+
+# ----------------------------------------------------------------------
+# Front-end parity and admission
+# ----------------------------------------------------------------------
+class TestFrontend:
+    def test_answers_match_the_inprocess_engine(self, index):
+        reference = RecommendService(index,
+                                     ServiceConfig(k=10, cache_size=0))
+        expected = reference.query_batch(range(index.n_users))
+        with ServingFrontend(index, _config()) as frontend:
+            futures = [frontend.submit(uid, 10)
+                       for uid in range(index.n_users)]
+            for uid, future in enumerate(futures):
+                resolution = future.result(timeout=30.0)
+                assert resolution["status"] == "ok"
+                result = resolution["result"]
+                assert result["items"] == expected[uid]["items"]
+                assert result["source"] == "index"
+                assert not result["degraded"]
+
+    def test_duplicate_concurrent_requests(self, index):
+        """The same (user, k) in flight many times answers identically."""
+        with ServingFrontend(index, _config()) as frontend:
+            futures = [frontend.submit(7, 10) for _ in range(32)]
+            items = {tuple(f.result(30.0)["result"]["items"])
+                     for f in futures}
+            assert len(items) == 1
+
+    def test_unknown_user_served_at_the_edge(self, index):
+        with ServingFrontend(index, _config()) as frontend:
+            resolution = frontend.query(index.n_users + 5, 10)
+            assert resolution["status"] == "ok"
+            result = resolution["result"]
+            assert result["source"] == "popularity"
+            assert result["items"] == [
+                int(i) for i in index.popularity[:10]]
+            assert frontend.counters["unknown_users"] == 1
+
+    def test_queue_full_sheds(self, index):
+        # One-slot queue, huge batch window: the second concurrent
+        # request must shed with queue_full while the first waits.
+        config = _config(max_queue_depth=1, batch_window_ms=200.0)
+        with ServingFrontend(index, config) as frontend:
+            first = frontend.submit(0, 10)
+            second = frontend.submit(1, 10)
+            assert second.result(1.0) == {"status": "shed",
+                                          "reason": "queue_full"}
+            assert first.result(30.0)["status"] == "ok"
+            assert frontend.counters["shed_queue_full"] == 1
+            assert frontend.counters["shed_requests"] == 1
+
+    def test_fleet_health_aggregates_breakers(self, index):
+        with ServingFrontend(index, _config()) as frontend:
+            for uid in range(10):
+                frontend.query(uid, 10)
+            fleet = frontend.supervisor.fleet_health()
+            assert fleet["n_workers"] == 2 and fleet["ready"] == 2
+            assert fleet["breaker_states"] == {"closed": 2}
+            assert not fleet["any_breaker_open"]
+            snaps = fleet["shards"]
+            assert set(snaps) == {"0", "1"}
+            for snap in snaps.values():
+                assert snap["state"] == "ready"
+                assert snap["breaker"]["state"] == "closed"
+
+
+# ----------------------------------------------------------------------
+# Deadline propagation matrix
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_dead_on_arrival_rejected_at_admission(self, index):
+        with ServingFrontend(index, _config()) as frontend:
+            resolution = frontend.query(0, 10, deadline_ms=0.0)
+            assert resolution == {"status": "shed", "reason": "deadline"}
+            assert frontend.counters["shed_deadline"] == 1
+            # Nothing was admitted, so nothing reached a worker.
+            assert frontend.counters["admitted"] == 0
+
+    def test_expiry_in_queue_sheds_without_scoring(self, index):
+        # The batch window (150 ms) outlives the deadline (30 ms): the
+        # dispatcher must shed the request before it touches a worker.
+        config = _config(batch_window_ms=150.0)
+        with ServingFrontend(index, config) as frontend:
+            resolution = frontend.query(0, 10, deadline_ms=30.0)
+            assert resolution == {"status": "shed", "reason": "deadline"}
+            time.sleep(0.3)   # let worker heartbeats report stats
+            fleet = frontend.supervisor.fleet_health()
+            scored = sum(s["stats"].get("requests", 0)
+                         for s in fleet["shards"].values())
+            assert scored == 0
+
+    def test_expiry_mid_scoring_counts_a_timeout(self, index):
+        # Engine-level leg of the matrix: the deadline the front-end
+        # threads through query_batch() is checked between retry
+        # attempts, so an expired one degrades and counts a timeout.
+        engine = RecommendService(index, ServiceConfig(k=10,
+                                                       cache_size=0))
+        past = time.monotonic() - 1.0
+        results = engine.query_batch([0, 1], deadlines=[past, None])
+        assert engine.stats["timeouts"] == 1
+        assert results[0]["degraded"] and results[0]["fallback"]
+        assert results[1]["source"] == "index"
+
+
+# ----------------------------------------------------------------------
+# Worker failure drills: kill, stall, failover
+# ----------------------------------------------------------------------
+class TestSupervision:
+    def test_worker_kill_restart_and_failover(self, index):
+        plan = FaultPlan([FaultSpec("worker_kill", after_requests=5,
+                                    worker=0)])
+        with ServingFrontend(index, _config(),
+                             faults=plan) as frontend:
+            lo, hi = 0, index.n_users // 2   # shard 0's user range
+            futures = [frontend.submit(lo + (i % (hi - lo)), 10)
+                       for i in range(30)]
+            for future in futures:
+                resolution = future.result(timeout=30.0)
+                assert resolution["status"] == "ok"   # never an error
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                fleet = frontend.supervisor.fleet_health()
+                if fleet["ready"] == 2:
+                    break
+                time.sleep(0.05)
+            assert fleet["ready"] == 2, "fleet never recovered"
+            assert frontend.supervisor.total_restarts == 1
+            assert frontend.counters["degraded_fallbacks"] > 0
+            # The replacement serves real scores again (the once-only
+            # kill fault must not re-fire in the new generation).
+            result = frontend.query(lo, 10, deadline_ms=None)["result"]
+            assert result["source"] == "index"
+
+    def test_worker_stall_detected_by_heartbeat_age(self, index):
+        plan = FaultPlan([FaultSpec("worker_stall", after_requests=3,
+                                    delay_s=5.0, worker=0)])
+        config = _config(stall_after_s=0.5)
+        with ServingFrontend(index, config, faults=plan) as frontend:
+            futures = [frontend.submit(i % 5, 10, deadline_ms=None)
+                       for i in range(10)]
+            for future in futures:
+                assert future.result(timeout=30.0)["status"] == "ok"
+            assert frontend.supervisor.total_restarts >= 1
+
+    def test_graceful_drain_resolves_every_inflight(self, index):
+        plan = FaultPlan([FaultSpec("slow_shard", rate=1.0,
+                                    delay_s=0.05)])
+        with ServingFrontend(index, _config(),
+                             faults=plan) as frontend:
+            futures = [frontend.submit(i, 10, deadline_ms=None)
+                       for i in range(20)]
+            drained = frontend.drain(timeout=30.0)
+            assert drained >= 0
+            for future in futures:
+                assert future.done()
+                assert future.result()["status"] == "ok"
+            assert frontend.submit(0, 10).result() == {
+                "status": "draining"}
+            assert frontend.counters["draining_rejects"] == 1
+
+
+# ----------------------------------------------------------------------
+# Telemetry: queue-wait + latency histograms (single-writer parent)
+# ----------------------------------------------------------------------
+def test_histograms_include_queue_wait(index, tmp_path):
+    run = obs.start_run(run_dir=tmp_path)
+    try:
+        with ServingFrontend(index, _config()) as frontend:
+            for uid in range(20):
+                frontend.query(uid, 10)
+    finally:
+        obs.finish_run()
+    manifest = obs.read_manifest(run.dir)
+    hdr = manifest["metrics"]["hdr"]
+    assert hdr["serve/latency_ms"]["count"] == 20
+    assert hdr["serve/queue_wait_ms"]["count"] == 20
+    # Queue wait is a component of latency, never exceeds it.
+    assert (hdr["serve/queue_wait_ms"]["p50"]
+            <= hdr["serve/latency_ms"]["p99"])
+    assert manifest["metrics"]["counters"]["serve/requests"] == 20
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+def test_open_loop_classifies_every_offer(index):
+    with ServingFrontend(index, _config()) as frontend:
+        capacity = estimate_capacity(frontend, range(index.n_users), 10,
+                                     duration_s=0.3)
+        assert capacity > 0
+        outcome = run_open_loop(frontend, range(index.n_users), 10,
+                                offered_qps=50.0, duration_s=0.5)
+    assert outcome["n_offered"] == 25
+    accounted = (outcome["completed"] + outcome["shed"]
+                 + outcome["draining"] + outcome["hard_failures"])
+    assert accounted == outcome["n_offered"]
+    assert outcome["hard_failures"] == 0
+    assert outcome["p99_ms"] is None or outcome["p99_ms"] > 0
+
+
+# ----------------------------------------------------------------------
+# HTTP edge (in-process asyncio server)
+# ----------------------------------------------------------------------
+def test_http_server_serves_and_drains(index):
+    import asyncio
+
+    from repro.serve.frontend import HttpFrontendServer
+
+    frontend = ServingFrontend(index, _config()).start()
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    try:
+        server = HttpFrontendServer(frontend, port=0)
+        port = asyncio.run_coroutine_threadsafe(
+            server.start(), loop).result(timeout=30.0)
+        drain_task = asyncio.run_coroutine_threadsafe(
+            server.serve_until_drained(), loop)
+
+        def _get(path):
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}{path}",
+                    timeout=10.0) as response:
+                return response.status, response.read()
+
+        status, body = _get("/recommend?user=3&k=5")
+        assert status == 200 and b'"items"' in body
+        status, _ = _get("/health")
+        assert status == 200
+        status, body = _get("/status")
+        assert status == 200 and b'"fleet"' in body
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get("/recommend?user=abc")
+        assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get("/nope")
+        assert err.value.code == 404
+
+        loop.call_soon_threadsafe(server.request_drain)
+        assert drain_task.result(timeout=30.0) is None
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5.0)
+        loop.close()
+        frontend.stop()
+
+
+# ----------------------------------------------------------------------
+# Fault-spec surface for the process kinds
+# ----------------------------------------------------------------------
+class TestProcessFaultSpecs:
+    def test_kill_and_stall_require_after_requests(self):
+        with pytest.raises(ValueError):
+            FaultSpec("worker_kill")
+        with pytest.raises(ValueError):
+            FaultSpec("worker_stall", after_requests=3)   # no delay
+        with pytest.raises(ValueError):
+            FaultSpec("slow_shard", rate=0.5)             # no delay
+        with pytest.raises(ValueError):
+            FaultSpec("slow_shard", rate=1.5, delay_s=0.1)
+
+    def test_valid_specs_round_out(self):
+        kill = FaultSpec("worker_kill", after_requests=5, worker=1)
+        assert not kill.exhausted()
+        kill.fired = 1
+        assert kill.exhausted()           # once-by-default, like kills
+        slow = FaultSpec("slow_shard", rate=0.2, delay_s=0.01, shard=0)
+        assert slow.shard == 0 and not slow.exhausted()
