@@ -1,0 +1,198 @@
+"""Online-learning benchmark: ingest throughput, fine-tune cost, freshness.
+
+Writes ``BENCH_online.json`` at the repository root, next to
+``BENCH_serve.json``, recording the three numbers the online subsystem
+is judged on:
+
+* **ingest throughput** — journal append + replay-and-fold rate in
+  events/second (the whole path: JSONL encode, fsync-free append,
+  re-read, invariant checks, CSR-feeding array growth);
+* **fine-tune cost vs full retrain** — wall-clock for the warm-start
+  incremental fine-tune (checkpoint load, embedding resize over the
+  streamed-in cold entities, a few epochs on the recency tail) as a
+  fraction of retraining the same architecture from scratch on the full
+  log at its offline epoch budget.  The recorded contract:
+  **fine-tune <= 25% of the retrain**, the headroom that makes
+  continuous updating affordable at all;
+* **freshness** — event→servable latency through a full
+  :class:`~repro.online.OnlineLoop` cycle (ingest → fine-tune → export
+  → checksum-verified swap), plus the in-process swap latency itself.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_online.py``) or
+through pytest (``pytest benchmarks/bench_online.py``).  Set
+``REPRO_BENCH_FAST=1`` for smaller stream and epoch budgets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Dict
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_online.json"
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+MODEL = "BPRMF"
+DATASET = "cd"
+N_EVENTS = 200 if FAST else 600
+N_NEW_USERS = 4
+N_NEW_ITEMS = 4
+RETRAIN_EPOCHS = 4 if FAST else 8
+FINETUNE_EPOCHS = 1 if FAST else 2
+TAIL_FRAC = 0.25
+MAX_COST_RATIO = 0.25
+
+
+def run_online_suite(write: bool = False) -> Dict[str, object]:
+    from repro.data import load_dataset, temporal_split
+    from repro.experiments.runner import build_model
+    from repro.online import (EventJournal, OnlineLoop, StreamIngestor,
+                              incremental_finetune, simulate_events)
+    from repro.serve.checkpoint import save_checkpoint
+
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro_bench_online_"))
+
+    # -- offline base: the checkpoint every fine-tune warm-starts from --
+    dataset = load_dataset(DATASET)
+    split = temporal_split(dataset)
+    base = build_model(MODEL, dataset, seed=0)
+    base.config.epochs = RETRAIN_EPOCHS
+    t0 = time.perf_counter()
+    base.fit(dataset, split)
+    retrain_s = time.perf_counter() - t0
+    save_checkpoint(base, workdir / "ck", dataset=dataset)
+
+    # -- ingest throughput: append + replay-and-fold ------------------
+    journal = EventJournal(workdir / "journal.jsonl")
+    events = simulate_events(dataset, N_EVENTS, N_NEW_USERS,
+                             N_NEW_ITEMS, seed=0)
+    t0 = time.perf_counter()
+    journal.append(events)
+    append_s = time.perf_counter() - t0
+    ingestor = StreamIngestor(dataset, journal)
+    t0 = time.perf_counter()
+    totals = ingestor.drain(batch_size=256)
+    drain_s = time.perf_counter() - t0
+    ingest = {
+        "n_events": N_EVENTS,
+        "append_events_per_s": N_EVENTS / max(append_s, 1e-9),
+        "fold_events_per_s": N_EVENTS / max(drain_s, 1e-9),
+        "events_per_s": N_EVENTS / max(append_s + drain_s, 1e-9),
+        "n_new_users": totals["n_new_users"],
+        "n_new_items": totals["n_new_items"],
+    }
+
+    # -- fine-tune cost vs the from-scratch retrain -------------------
+    t0 = time.perf_counter()
+    tuned = incremental_finetune(workdir / "ck", dataset,
+                                 epochs=FINETUNE_EPOCHS,
+                                 tail_frac=TAIL_FRAC)
+    finetune_s = time.perf_counter() - t0
+    finetune = {
+        "finetune_s": finetune_s,
+        "retrain_s": retrain_s,
+        "cost_ratio": finetune_s / max(retrain_s, 1e-9),
+        "epochs": FINETUNE_EPOCHS,
+        "retrain_epochs": RETRAIN_EPOCHS,
+        "tail_frac": TAIL_FRAC,
+        "n_tail": tuned["n_tail"],
+        "growth": tuned["growth"],
+        "final_loss": tuned["final_loss"],
+    }
+
+    # -- freshness: event -> servable through a full loop cycle -------
+    loop = OnlineLoop(workdir / "loop", model_name=MODEL,
+                      dataset_name=DATASET, seed=0)
+    loop.bootstrap(epochs=RETRAIN_EPOCHS)
+    t0 = time.perf_counter()
+    cycle = loop.run_cycle(n_events=N_EVENTS // 2,
+                           n_new_users=N_NEW_USERS,
+                           n_new_items=N_NEW_ITEMS,
+                           finetune_epochs=FINETUNE_EPOCHS,
+                           tail_frac=TAIL_FRAC)
+    cycle_s = time.perf_counter() - t0
+    freshness = {
+        "event_to_servable_s": cycle["swap"]["event_to_servable_s"],
+        "swap_latency_ms": cycle["swap"]["swap_latency_ms"],
+        "cycle_s": cycle_s,
+        "cold_start_hit_rate": cycle["cold_start"]["hit_rate"],
+        "index_version": cycle["swap"]["version"],
+    }
+
+    results = {
+        "model": MODEL,
+        "dataset": DATASET,
+        "ingest": ingest,
+        "finetune": finetune,
+        "freshness": freshness,
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "fast": FAST,
+            "max_cost_ratio": MAX_COST_RATIO,
+        },
+    }
+    if write:
+        RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    return results
+
+
+def format_online_results(results: Dict[str, object]) -> str:
+    ingest = results["ingest"]
+    finetune = results["finetune"]
+    fresh = results["freshness"]
+    lines = [
+        f"online benchmark -- {results['model']} on {results['dataset']}",
+        f"  ingest: {ingest['events_per_s']:.0f} events/s end to end "
+        f"(append {ingest['append_events_per_s']:.0f}/s, "
+        f"fold {ingest['fold_events_per_s']:.0f}/s, "
+        f"{ingest['n_events']} events)",
+        f"  fine-tune: {finetune['finetune_s']:.2f}s "
+        f"({finetune['epochs']} epoch(s) on {finetune['n_tail']} tail "
+        f"events) vs retrain {finetune['retrain_s']:.2f}s "
+        f"({finetune['retrain_epochs']} epochs) -> "
+        f"cost ratio {finetune['cost_ratio']:.1%}",
+        f"  freshness: event->servable "
+        f"{fresh['event_to_servable_s']:.3f}s, swap "
+        f"{fresh['swap_latency_ms']:.1f}ms, cold-start hit rate "
+        f"{fresh['cold_start_hit_rate']}",
+    ]
+    return "\n".join(lines)
+
+
+def check_online_results(results: Dict[str, object]) -> None:
+    """The recorded contract; shared by pytest and standalone runs."""
+    finetune = results["finetune"]
+    assert finetune["cost_ratio"] <= MAX_COST_RATIO, (
+        f"incremental fine-tune cost {finetune['cost_ratio']:.1%} of a "
+        f"from-scratch retrain exceeds the {MAX_COST_RATIO:.0%} ceiling")
+    ingest = results["ingest"]
+    assert ingest["events_per_s"] > 0
+    assert ingest["n_new_users"] == N_NEW_USERS
+    assert ingest["n_new_items"] == N_NEW_ITEMS
+    fresh = results["freshness"]
+    assert fresh["event_to_servable_s"] is not None
+    assert fresh["event_to_servable_s"] < fresh["cycle_s"] + 1.0
+    assert fresh["cold_start_hit_rate"] == 1.0, (
+        "streamed-in cold-start users must be servable from the index "
+        "after the swap")
+
+
+def test_online_bench(benchmark, artifact):
+    """Regenerate BENCH_online.json and hold the online contracts."""
+    results = benchmark.pedantic(run_online_suite,
+                                 kwargs=dict(write=not FAST),
+                                 rounds=1, iterations=1)
+    artifact("online", format_online_results(results))
+    check_online_results(results)
+
+
+if __name__ == "__main__":
+    out = run_online_suite(write=True)
+    print(format_online_results(out))
+    check_online_results(out)
+    print(f"[results written to {RESULT_PATH}]")

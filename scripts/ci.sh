@@ -27,6 +27,14 @@
 #              then a traced worker-kill drill must answer every
 #              request (degraded allowed, errors not), restart the
 #              worker, pass `obs slo`, and export a valid trace.
+#   9. online — a full ingest→finetune→swap cycle on the synthetic
+#              dataset must leave a fresh index version live with
+#              streamed-in cold-start users servable; scoring faults
+#              fired inside the swap window must be carried by
+#              degraded-mode (stale-index) serving with clean
+#              recovery on the next swap; a poisoned event stream
+#              must be rejected with a typed error and no dataset
+#              mutation.
 #
 # Usage: bash scripts/ci.sh            (from the repo root)
 set -euo pipefail
@@ -224,6 +232,49 @@ assert not errors, errors
 names = {event.get("name") for event in doc["traceEvents"]}
 assert "serve/request" in names, sorted(names)[:20]
 EOF
+echo "ok"
+
+echo "== online-learning smoke =="
+# Full cycle: bootstrap, stream 30 events (2 cold users, 1 cold item),
+# ingest, fine-tune the warm checkpoint, swap.  The contract: a new
+# index version is live and the streamed-in users are servable from
+# the index (cold-start hit rate 1.0), not a fallback.
+python -m repro online run --workdir "$smoke_dir/online" \
+    --events 30 --new-users 2 --new-items 1 \
+    --bootstrap-epochs 2 --finetune-epochs 2 > "$smoke_dir/n1.txt"
+grep -q "online run: v2 live" "$smoke_dir/n1.txt"
+grep -q "cold-start hit rate 1.00" "$smoke_dir/n1.txt"
+grep -q "n_appended: 30" "$smoke_dir/n1.txt"
+test -d "$smoke_dir/online/index.v2"
+grep -q "index.v2" "$smoke_dir/online/CURRENT"
+# A second cycle on the same workdir must not re-bootstrap.
+python -m repro online run --workdir "$smoke_dir/online" \
+    --events 10 --new-users 0 --new-items 0 --finetune-epochs 1 \
+    > "$smoke_dir/n2.txt"
+grep -q "online run: v3 live" "$smoke_dir/n2.txt"
+grep -q "bootstrapped: False" "$smoke_dir/n2.txt"
+python -m repro online status --workdir "$smoke_dir/online" \
+    > "$smoke_dir/n3.txt"
+grep -q "current: 3" "$smoke_dir/n3.txt"
+grep -q "lag_bytes: 0" "$smoke_dir/n3.txt"
+
+# Scoring faults fired inside the swap window: the demoted v1 index
+# must carry all traffic as the stale-index fallback (degraded mode),
+# and the next clean swap must recover primary scoring.
+python -m repro robust inject serve --swap --epochs 1 --requests 50 \
+    --events 20 > "$smoke_dir/n4.txt" 2>&1
+grep -q "degraded-mode serving held through the faulty swap" \
+    "$smoke_dir/n4.txt"
+grep -q "recovered: True" "$smoke_dir/n4.txt"
+grep -q "phase2_stale: 50" "$smoke_dir/n4.txt"
+
+# Poisoned event streams: typed rejection, zero dataset mutation.
+for kind in journal_corrupt event_disorder event_duplicate; do
+    python -m repro robust inject stream --kind "$kind" \
+        > "$smoke_dir/n5.txt"
+    grep -q "fault detected and contained" "$smoke_dir/n5.txt"
+    grep -q "contained: True" "$smoke_dir/n5.txt"
+done
 echo "ok"
 
 echo "== all gates passed =="

@@ -21,7 +21,15 @@ robust       Fault-injection drills: provoke NaN divergence, process
              kills, scoring failures, and checkpoint corruption, and
              verify the recovery machinery end to end — including
              worker kills/stalls against the multi-worker front-end
-             (``inject serve --frontend``).
+             (``inject serve --frontend``), scoring faults fired inside
+             a hot-swap window (``inject serve --swap``), and poisoned
+             event streams (``inject stream``).
+online       Online learning: append/ingest journal events
+             (``ingest``), incrementally fine-tune the warm checkpoint
+             on the recency-weighted stream tail (``finetune``), flip
+             the live index version (``swap``), run one full
+             ingest→finetune→swap cycle (``run``), or inspect the loop
+             state (``status``).  All state lives under ``--workdir``.
 
 ``train``, ``compare``, and ``serve bench`` accept ``--telemetry``
 (record spans, metrics, and a run manifest under ``runs/<run_id>/``),
@@ -346,12 +354,97 @@ def build_parser() -> argparse.ArgumentParser:
                           "targets")
     isv.add_argument("--qps", type=float, default=200.0,
                      help="[--frontend] offered open-loop rate")
+    isv.add_argument("--swap", action="store_true",
+                     help="fire the scoring faults inside a hot-swap "
+                          "window: the service must hold degraded-mode "
+                          "(stale-index) serving and recover on the "
+                          "next clean swap")
+    isv.add_argument("--events", type=int, default=30,
+                     help="[--swap] streamed events before the "
+                          "fine-tune that produces the v2 index")
 
     ick = inject_sub.add_parser(
         "checkpoint", help="flip one checkpoint byte; expect rejection")
     ick.add_argument("path", help="checkpoint directory to corrupt "
                                   "(modified in place)")
     ick.add_argument("--seed", type=int, default=0)
+
+    ist = inject_sub.add_parser(
+        "stream", help="poison the event stream; expect typed "
+                       "rejection with no dataset mutation")
+    ist.add_argument("--kind", default="journal_corrupt",
+                     choices=["journal_corrupt", "event_disorder",
+                              "event_duplicate"])
+    ist.add_argument("--dataset", default="cd",
+                     choices=["ciao", "cd", "clothing", "book"])
+    ist.add_argument("--events", type=int, default=20)
+    ist.add_argument("--seed", type=int, default=0)
+
+    online = sub.add_parser(
+        "online", help="streaming ingest, incremental fine-tune, and "
+                       "zero-downtime index swap")
+    online_sub = online.add_subparsers(dest="online_command",
+                                       required=True)
+
+    def _add_online_common(p):
+        p.add_argument("--workdir", default="online_state", metavar="DIR",
+                       help="durable loop state directory "
+                            "(default: online_state)")
+        p.add_argument("--model", default="BPRMF")
+        p.add_argument("--dataset", default="cd",
+                       choices=["ciao", "cd", "clothing", "book"])
+        p.add_argument("--seed", type=int, default=0)
+
+    oin = online_sub.add_parser(
+        "ingest", help="fold pending journal events into the dataset "
+                       "snapshot (optionally simulating events first)")
+    _add_online_common(oin)
+    oin.add_argument("--simulate", type=int, default=0, metavar="N",
+                     help="append N synthetic events before ingesting")
+    oin.add_argument("--new-users", type=int, default=0,
+                     help="[--simulate] cold-start users in the stream")
+    oin.add_argument("--new-items", type=int, default=0,
+                     help="[--simulate] cold-start items in the stream")
+    oin.add_argument("--max-events", type=int, default=None,
+                     help="ingest at most this many events (default: "
+                          "drain the journal)")
+
+    oft = online_sub.add_parser(
+        "finetune", help="incrementally fine-tune the warm checkpoint "
+                         "on the recency-weighted stream tail")
+    _add_online_common(oft)
+    oft.add_argument("--epochs", type=int, default=3)
+    oft.add_argument("--tail-frac", type=float, default=0.25,
+                     help="most-recent fraction of interactions to "
+                          "fine-tune on (default: 0.25)")
+    oft.add_argument("--half-life", type=float, default=None,
+                     help="recency half-life in timestamp units "
+                          "(default: a quarter of the tail's span)")
+
+    osw = online_sub.add_parser(
+        "swap", help="atomically flip CURRENT to an exported index "
+                     "version and hot-swap attached services")
+    _add_online_common(osw)
+    osw.add_argument("--version", type=int, default=None,
+                     help="index version to activate (default: newest)")
+
+    orn = online_sub.add_parser(
+        "run", help="one full ingest -> finetune -> swap cycle with "
+                    "simulated events (bootstraps on first run)")
+    _add_online_common(orn)
+    orn.add_argument("--events", type=int, default=50)
+    orn.add_argument("--new-users", type=int, default=2)
+    orn.add_argument("--new-items", type=int, default=2)
+    orn.add_argument("--bootstrap-epochs", type=int, default=3)
+    orn.add_argument("--finetune-epochs", type=int, default=3)
+    orn.add_argument("--tail-frac", type=float, default=0.25)
+    orn.add_argument("--k", type=int, default=10,
+                     help="cold-start probe list length")
+    _add_telemetry(orn)
+
+    ost = online_sub.add_parser(
+        "status", help="journal lag, index version, and universe size")
+    _add_online_common(ost)
     return parser
 
 
@@ -716,8 +809,35 @@ def cmd_robust(args) -> int:
     from repro.robust.drills import (run_checkpoint_drill,
                                      run_frontend_drill,
                                      run_serving_drill,
+                                     run_stream_drill,
                                      run_training_drill)
     from repro.serve import CheckpointError
+    if args.inject_target == "stream":
+        record = run_stream_drill(kind=args.kind,
+                                  dataset_name=args.dataset,
+                                  n_events=args.events, seed=args.seed)
+        verdict = ("fault detected and contained" if record["passed"]
+                   else "fault NOT contained")
+        print(f"robust inject stream ({record['kind']}): "
+              f"{record['dataset']} -> {verdict}")
+        _print_kv(record, skip=("kind", "dataset"))
+        return 0 if record["passed"] else 1
+    if args.inject_target == "serve" and args.swap:
+        from repro.online import run_online_serve_drill
+        record = run_online_serve_drill(
+            model_name=args.model, dataset_name=args.dataset,
+            epochs=args.epochs, n_requests=args.requests,
+            n_events=args.events, k=args.k, seed=args.seed)
+        verdict = ("degraded-mode serving held through the faulty "
+                   "swap, recovered on the clean swap"
+                   if record["passed"] else
+                   f"{record['phase2_valid']}/{record['n_requests']} "
+                   f"valid under fault, recovered="
+                   f"{record['recovered']}")
+        print(f"robust inject serve --swap: {record['model']} on "
+              f"{record['dataset']} -> {verdict}")
+        _print_kv(record, skip=("model", "dataset"))
+        return 0 if record["passed"] else 1
     if args.inject_target == "train":
         try:
             record = run_training_drill(
@@ -789,6 +909,87 @@ def cmd_robust(args) -> int:
     return 0 if record["detected"] else 1
 
 
+def cmd_online(args) -> int:
+    from repro.data.dataset import StreamError
+    from repro.online import OnlineLoop
+
+    loop = OnlineLoop(args.workdir, model_name=args.model,
+                      dataset_name=args.dataset, seed=args.seed)
+    try:
+        if args.online_command == "ingest":
+            if args.simulate:
+                sim = loop.simulate(args.simulate, args.new_users,
+                                    args.new_items)
+                print(f"online simulate: {sim['n_events']} events "
+                      f"appended ({args.new_users} new users, "
+                      f"{args.new_items} new items)")
+            record = loop.ingest(max_events=args.max_events)
+            print(f"online ingest: {record['n_appended']} events folded "
+                  f"into the snapshot")
+            _print_kv(record)
+            _print_kv({"universe": f"{loop.dataset.n_users} users x "
+                                   f"{loop.dataset.n_items} items"})
+            return 0
+        if args.online_command == "finetune":
+            record = loop.finetune(epochs=args.epochs,
+                                   tail_frac=args.tail_frac,
+                                   half_life=args.half_life)
+            print(f"online finetune: index v{record['version']} "
+                  f"exported (activate with: repro online swap "
+                  f"--workdir {loop.workdir})")
+            _print_kv(record)
+            return 0
+        if args.online_command == "swap":
+            record = loop.swap(version=args.version)
+            print(f"online swap: v{record['version']} is live "
+                  f"({record['swap_latency_ms']:.1f} ms)")
+            _print_kv(record, skip=("version", "live_swaps"))
+            return 0
+        if args.online_command == "status":
+            record = loop.status()
+            print(f"online status: {loop.workdir}")
+            _print_kv(record, skip=("workdir",))
+            return 0
+        # run: one full cycle, with optional telemetry
+        run = _maybe_start_run(args, "online", model=args.model,
+                               dataset=args.dataset,
+                               events=args.events)
+        record = loop.run_cycle(
+            n_events=args.events, n_new_users=args.new_users,
+            n_new_items=args.new_items,
+            bootstrap_epochs=args.bootstrap_epochs,
+            finetune_epochs=args.finetune_epochs,
+            tail_frac=args.tail_frac, probe_k=args.k)
+        cold = record["cold_start"]
+        swap = record["swap"]
+        freshness = swap["event_to_servable_s"]
+        fresh_txt = (f"{freshness:.3f}s" if freshness is not None
+                     else "n/a")
+        hit_txt = (f"{cold['hit_rate']:.2f}" if cold["n_probed"]
+                   else "n/a")
+        print(f"online run: v{swap['version']} live, "
+              f"{record['ingest']['n_appended']} events ingested, "
+              f"cold-start hit rate {hit_txt}, "
+              f"event->servable {fresh_txt}")
+        for verb in ("bootstrap", "simulate", "ingest", "finetune",
+                     "swap", "cold_start"):
+            print(f"  [{verb}]")
+            sub = {key: value for key, value in record[verb].items()
+                   if key != "live_swaps"}
+            _print_kv({f"  {key}": value for key, value in sub.items()})
+        _finish_run(run, final_metrics={
+            "online/events_ingested": record["events_ingested"],
+            "online/cold_start_hit_rate": cold["hit_rate"] or 0.0,
+            "online/swap_latency_ms": swap["swap_latency_ms"]})
+        return 0
+    except StreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 COMMANDS = {
     "stats": cmd_stats,
     "train": cmd_train,
@@ -798,6 +999,7 @@ COMMANDS = {
     "obs": cmd_obs,
     "serve": cmd_serve,
     "robust": cmd_robust,
+    "online": cmd_online,
 }
 
 

@@ -10,7 +10,7 @@ and :mod:`repro.data.registry` provides named configs (``ciao``, ``cd``,
 at bench scale.
 """
 
-from repro.data.dataset import InteractionDataset, Split
+from repro.data.dataset import InteractionDataset, Split, StreamError
 from repro.data.splits import temporal_split
 from repro.data.sampling import TripletSampler
 from repro.data.synthetic import SyntheticConfig, generate_dataset
@@ -26,6 +26,7 @@ from repro.data.io import (
 __all__ = [
     "InteractionDataset",
     "Split",
+    "StreamError",
     "temporal_split",
     "TripletSampler",
     "SyntheticConfig",

@@ -17,6 +17,16 @@ import scipy.sparse as sp
 from repro.taxonomy import LogicalRelations, Taxonomy, extract_relations
 
 
+class StreamError(ValueError):
+    """A streaming batch violated an ingest invariant.
+
+    Raised by :meth:`InteractionDataset.append_interactions` (and the
+    online journal/ingest layer built on it) *before* any state is
+    mutated, so a rejected batch leaves the dataset untouched instead of
+    silently corrupting the CSR seen masks.
+    """
+
+
 @dataclass
 class Split:
     """Index arrays into an :class:`InteractionDataset`'s interaction list."""
@@ -141,6 +151,113 @@ class InteractionDataset:
                 concat = np.zeros(0, dtype=np.int64)
             out[u] = concat.astype(np.int64)
         return out
+
+    # ------------------------------------------------------------------
+    # Streaming ingest (online learning)
+    # ------------------------------------------------------------------
+    def seen_pairs(self) -> np.ndarray:
+        """Flat ``u * n_items + i`` keys of all current interactions."""
+        return (self.user_ids * np.int64(self.n_items)
+                + self.item_ids).astype(np.int64)
+
+    def append_interactions(self, user_ids, item_ids, timestamps, *,
+                            n_users: Optional[int] = None,
+                            n_items: Optional[int] = None,
+                            item_tags: Optional[sp.spmatrix] = None
+                            ) -> dict:
+        """Fold a batch of new interactions into the dataset in place.
+
+        The universe may only grow: ``n_users`` / ``n_items`` (defaulting
+        to the current sizes, auto-grown to cover the batch) must be at
+        least the current counts.  Every invariant is checked **before**
+        any mutation — a rejected batch raises :class:`StreamError` and
+        leaves the dataset exactly as it was:
+
+        * parallel arrays of equal length, ids non-negative and inside
+          the (grown) universe;
+        * timestamps nondecreasing within the batch and not before the
+          newest existing interaction (the temporal-split contract);
+        * no duplicate ``(user, item)`` pair within the batch or against
+          the existing interactions (duplicates would double-count in the
+          CSR seen masks downstream).
+
+        ``item_tags`` replaces Q for a grown item universe (shape
+        ``(new_n_items, n_tags)``); when omitted, new items get empty tag
+        rows.  Returns a summary dict (counts of new users/items/events).
+        """
+        new_u = np.asarray(user_ids, dtype=np.int64).ravel()
+        new_i = np.asarray(item_ids, dtype=np.int64).ravel()
+        new_t = np.asarray(timestamps, dtype=np.int64).ravel()
+        if not (len(new_u) == len(new_i) == len(new_t)):
+            raise StreamError("batch arrays must have equal length")
+        if len(new_u) and (new_u.min() < 0 or new_i.min() < 0):
+            raise StreamError("negative user/item id in batch")
+
+        grown_users = int(n_users) if n_users is not None else max(
+            self.n_users, int(new_u.max()) + 1 if len(new_u) else 0)
+        grown_items = int(n_items) if n_items is not None else max(
+            self.n_items, int(new_i.max()) + 1 if len(new_i) else 0)
+        if grown_users < self.n_users or grown_items < self.n_items:
+            raise StreamError(
+                f"universe may only grow: ({self.n_users}, {self.n_items})"
+                f" -> ({grown_users}, {grown_items})")
+        if len(new_u) and int(new_u.max()) >= grown_users:
+            raise StreamError("user id out of range for grown universe")
+        if len(new_i) and int(new_i.max()) >= grown_items:
+            raise StreamError("item id out of range for grown universe")
+
+        if len(new_t):
+            if np.any(np.diff(new_t) < 0):
+                raise StreamError("out-of-order timestamps in batch")
+            if len(self.timestamps) and new_t[0] < self.timestamps.max():
+                raise StreamError(
+                    "batch timestamps precede the newest existing "
+                    "interaction (temporal ordering violated)")
+
+        # Duplicate (user, item) pairs — within the batch and against
+        # the existing interactions — flat-keyed on the grown universe.
+        keys = new_u * np.int64(grown_items) + new_i
+        if len(keys) != len(np.unique(keys)):
+            raise StreamError("duplicate (user, item) pair within batch")
+        if len(self.user_ids):
+            old_keys = (self.user_ids * np.int64(grown_items)
+                        + self.item_ids)
+            if np.any(np.isin(keys, old_keys)):
+                raise StreamError(
+                    "duplicate (user, item) pair against existing "
+                    "interactions")
+
+        if item_tags is not None:
+            q = sp.csr_matrix(item_tags)
+            if q.shape[0] != grown_items:
+                raise StreamError("item_tags row count must equal the "
+                                  "grown n_items")
+        elif grown_items > self.n_items:
+            pad = sp.csr_matrix(
+                (grown_items - self.n_items, self.item_tags.shape[1]))
+            q = sp.vstack([self.item_tags, pad]).tocsr()
+        else:
+            q = None  # unchanged
+
+        # All checks passed — mutate atomically.
+        n_new_users = grown_users - self.n_users
+        n_new_items = grown_items - self.n_items
+        self.user_ids = np.concatenate([self.user_ids, new_u])
+        self.item_ids = np.concatenate([self.item_ids, new_i])
+        self.timestamps = np.concatenate([self.timestamps, new_t])
+        self.n_users = grown_users
+        self.n_items = grown_items
+        if q is not None:
+            self.item_tags = q
+            if item_tags is not None:
+                # Tag memberships changed: re-extract logical relations.
+                self.relations = extract_relations(self.taxonomy,
+                                                   self.item_tags)
+        return {"n_appended": int(len(new_u)),
+                "n_new_users": int(n_new_users),
+                "n_new_items": int(n_new_items),
+                "n_users": self.n_users, "n_items": self.n_items,
+                "n_interactions": self.n_interactions}
 
     # ------------------------------------------------------------------
     def statistics(self) -> dict:

@@ -25,12 +25,28 @@ from repro.data.dataset import InteractionDataset
 from repro.taxonomy import Taxonomy, extract_relations
 
 
+def _dataset_paths(path: str) -> Tuple[pathlib.Path, pathlib.Path]:
+    """The ``.npz`` / ``.taxonomy.json`` pair for a dataset base path.
+
+    Suffixes are *appended*, never substituted: ``with_suffix`` would
+    clobber dotted stems (``snap.v1`` and ``snap.v2`` both collapsing to
+    ``snap.npz``), silently cross-loading another snapshot's
+    interactions — fatal for the online loop, which saves versioned
+    snapshots and relies on timestamp ordering for recency weighting.
+    """
+    base = pathlib.Path(path)
+    if base.suffix == ".npz":
+        base = base.with_suffix("")
+    return (base.parent / (base.name + ".npz"),
+            base.parent / (base.name + ".taxonomy.json"))
+
+
 def save_dataset(dataset: InteractionDataset, path: str) -> None:
     """Write the dataset to ``<path>.npz`` plus ``<path>.taxonomy.json``."""
-    base = pathlib.Path(path)
+    npz_path, tax_path = _dataset_paths(path)
     coo = sp.coo_matrix(dataset.item_tags)
     np.savez_compressed(
-        base.with_suffix(".npz"),
+        npz_path,
         user_ids=dataset.user_ids,
         item_ids=dataset.item_ids,
         timestamps=dataset.timestamps,
@@ -41,15 +57,15 @@ def save_dataset(dataset: InteractionDataset, path: str) -> None:
     )
     payload = dataset.taxonomy.to_dict()
     payload["name"] = dataset.name
-    with open(base.with_suffix(".taxonomy.json"), "w") as f:
+    with open(tax_path, "w") as f:
         json.dump(payload, f)
 
 
 def load_dataset_file(path: str) -> InteractionDataset:
     """Inverse of :func:`save_dataset`."""
-    base = pathlib.Path(path)
-    arrays = np.load(base.with_suffix(".npz"))
-    with open(base.with_suffix(".taxonomy.json")) as f:
+    npz_path, tax_path = _dataset_paths(path)
+    arrays = np.load(npz_path)
+    with open(tax_path) as f:
         payload = json.load(f)
     taxonomy = Taxonomy(payload["parents"], payload.get("names"))
     q = sp.coo_matrix(

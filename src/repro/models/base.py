@@ -354,6 +354,101 @@ class Recommender(ServableModel):
         return (d @ adj @ d).tocsr()
 
     # ------------------------------------------------------------------
+    # Online learning: embedding resize for cold-start entities
+    # ------------------------------------------------------------------
+    def resize_universe(self, n_users: int, n_items: int, *,
+                        item_neighbors: Optional[Dict[int, np.ndarray]]
+                        = None, init_scale: float = 0.01) -> dict:
+        """Grow the user/item universe in place for streamed entities.
+
+        Every parameter whose name contains ``user`` (resp. ``item``)
+        and whose leading axis equals the old count is treated as a
+        per-user (per-item) table and extended with prior-initialized
+        rows; everything else (tag embeddings, biases over other axes,
+        curvatures) is untouched.  The priors:
+
+        * **Euclidean** tables — the population centroid (mean of
+          existing rows) plus tiny seeded noise: cold entities start at
+          the popularity prior and differentiate as gradients arrive.
+        * **Manifold** tables — ``manifold.random`` near the origin,
+          which in hyperbolic space is the coarse-granularity region
+          where a user with no history belongs (Eq. 13's GR is minimal
+          there), and always satisfies the manifold constraint.
+        * ``item_neighbors`` (optional) — a tag prior: maps a *new* item
+          id to existing item ids sharing tags; the new row becomes the
+          neighbors' mean (Euclidean) or a copy of the first neighbor's
+          point (manifold — copying keeps the constraint exact).
+
+        The universe may only grow.  Gradients are cleared and the
+        caller must use a **fresh optimizer** (``fit`` builds one) —
+        stale optimizer state has the old shapes.  Dataset-dependent
+        caches (adjacency, CON weights) are rebuilt by ``prepare``,
+        which ``fit`` calls on the grown dataset.
+        """
+        old_users, old_items = self.n_users, self.n_items
+        if n_users < old_users or n_items < old_items:
+            raise ValueError(
+                f"universe may only grow: ({old_users}, {old_items}) -> "
+                f"({n_users}, {n_items})")
+        grown: List[str] = []
+        for p in self.parameters():
+            name = p.name or ""
+            axis0 = p.data.shape[0] if p.data.ndim else -1
+            # Name-first classification; tables named neither way (e.g.
+            # BPRMF's per-item "bias") fall back to the leading-axis
+            # size when it is unambiguous.  Tag/attribute tables are
+            # never entity tables, whatever their sizes.
+            is_side = "tag" in name or "attr" in name
+            is_user = "user" in name and axis0 == old_users
+            is_item = "item" in name and axis0 == old_items
+            if not (is_user or is_item or is_side):
+                is_item = axis0 == old_items != old_users
+                is_user = axis0 == old_users != old_items
+            if is_user and n_users > old_users:
+                self._grow_table(p, n_users - old_users, init_scale)
+                grown.append(name)
+            elif is_item and n_items > old_items:
+                self._grow_table(p, n_items - old_items, init_scale,
+                                 neighbors=item_neighbors,
+                                 base=old_items)
+                grown.append(name)
+        self.n_users, self.n_items = int(n_users), int(n_items)
+        return {"n_users": self.n_users, "n_items": self.n_items,
+                "new_users": self.n_users - old_users,
+                "new_items": self.n_items - old_items,
+                "grown_parameters": grown}
+
+    def _grow_table(self, p: Parameter, n_new: int, scale: float,
+                    neighbors: Optional[Dict[int, np.ndarray]] = None,
+                    base: int = 0) -> None:
+        """Append ``n_new`` prior-initialized rows to a parameter table."""
+        from repro.manifolds.base import Euclidean
+        rest = p.data.shape[1:]
+        euclidean = isinstance(p.manifold, Euclidean)
+        if euclidean:
+            centroid = (p.data.mean(axis=0) if len(p.data)
+                        else np.zeros(rest))
+            rows = centroid + scale * self.rng.standard_normal(
+                (n_new,) + rest)
+        else:
+            rows = p.manifold.random((n_new,) + rest, self.rng,
+                                     scale=scale)
+        if neighbors:
+            for j in range(n_new):
+                nbs = neighbors.get(base + j)
+                if nbs is None or not len(nbs):
+                    continue
+                nbs = np.asarray(nbs, dtype=np.int64)
+                if euclidean:
+                    rows[j] = (p.data[nbs].mean(axis=0)
+                               + scale * self.rng.standard_normal(rest))
+                else:
+                    rows[j] = p.data[nbs[0]]
+        p.data = np.concatenate([p.data, np.asarray(rows,
+                                                    dtype=p.data.dtype)])
+        p.grad = None
+
+    # ------------------------------------------------------------------
     # ServableModel contract (checkpointing / serving; see repro.serve)
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:

@@ -1,0 +1,255 @@
+"""Incremental fine-tuning on the recency-weighted stream tail.
+
+Warm-start path for online learning: load the last full-training
+checkpoint, grow its embedding tables over the streamed-in users/items
+(:meth:`~repro.models.base.Recommender.resize_universe`, with tag-prior
+initialization for new items that share tags with known ones), and
+fine-tune for a few epochs on only the most recent slice of the
+interaction log.
+
+Recency weighting appears twice:
+
+* the **tail split** (:func:`recency_tail_split`) restricts training to
+  the newest ``tail_frac`` of interactions — the stream tail;
+* for LogiRec++, the data-driven consistency term CON_u (Eq. 12) is
+  recomputed with **recency-weighted tag frequencies**
+  (:func:`recency_weighted_consistency`): each interaction contributes
+  its exponential-decay weight ``0.5 ** (age / half_life)`` to the tag
+  counts of Eq. 11 instead of 1.  With all weights equal the weighted
+  TF reduces exactly to :func:`repro.core.weighting.tag_frequencies`,
+  so offline and online consistency agree on a static log.  GR_u
+  (Eq. 13) needs no variant — it reads the *current* embedding, which
+  the warm start carries forward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.data.dataset import InteractionDataset, Split
+from repro.taxonomy import LogicalRelations
+
+
+def recency_weights(timestamps: np.ndarray,
+                    half_life: float) -> np.ndarray:
+    """Exponential-decay weights: ``0.5 ** (age / half_life)``.
+
+    Age is measured from the newest timestamp in ``timestamps``, so the
+    freshest interaction always weighs 1.0 and an interaction one
+    half-life older weighs 0.5.
+    """
+    if half_life <= 0:
+        raise ValueError(f"half_life must be positive, got {half_life}")
+    t = np.asarray(timestamps, dtype=np.float64)
+    if len(t) == 0:
+        return np.zeros(0, dtype=np.float64)
+    return 0.5 ** ((t.max() - t) / float(half_life))
+
+
+def recency_tail_split(dataset: InteractionDataset,
+                       tail_frac: float = 0.25,
+                       min_events: int = 1) -> Split:
+    """A :class:`Split` whose train set is the newest slice of the log.
+
+    The tail is the last ``tail_frac`` of interactions by timestamp
+    (stable sort, so append order breaks ties — exactly the journal
+    order for streamed events).  Valid/test are empty: fine-tuning is
+    not an evaluation protocol, and the caller measures quality against
+    whatever offline split it maintains.
+    """
+    if not 0.0 < tail_frac <= 1.0:
+        raise ValueError(f"tail_frac must be in (0, 1], got {tail_frac}")
+    n = dataset.n_interactions
+    order = np.argsort(dataset.timestamps, kind="stable")
+    n_tail = min(n, max(int(min_events), int(round(tail_frac * n))))
+    empty = np.zeros(0, dtype=np.int64)
+    return Split(train=order[n - n_tail:], valid=empty, test=empty)
+
+
+def weighted_tag_frequencies(tags: np.ndarray,
+                             weights: np.ndarray) -> Dict[int, float]:
+    """Recency-weighted Eq. 11: TF(t) = log(c_t + 1) / log(W_u).
+
+    ``tags`` is the user's tag multiset and ``weights`` the per-entry
+    recency weight (one per tag occurrence, inherited from the carrying
+    interaction).  ``c_t`` is the weighted count of tag ``t`` and
+    ``W_u`` the weighted multiset size; with unit weights this is
+    bit-for-bit :func:`repro.core.weighting.tag_frequencies`.
+    """
+    total = float(np.sum(weights))
+    if len(tags) <= 1 or total <= 1.0:
+        # Mirrors the |T_u| <= 1 degenerate case of the unweighted TF:
+        # too little (effective) evidence to assert any exclusion.
+        return {}
+    denom = np.log(total)
+    out: Dict[int, float] = {}
+    unique = np.unique(tags)
+    for t in unique:
+        c = float(np.sum(weights[tags == t]))
+        out[int(t)] = float(np.log(c + 1.0) / denom)
+    return out
+
+
+def recency_weighted_consistency(dataset: InteractionDataset,
+                                 indices: np.ndarray,
+                                 weights: np.ndarray,
+                                 eta: int = 4) -> np.ndarray:
+    """Eq. 12 CON_u with recency-weighted tag frequencies.
+
+    ``indices`` selects the interactions in play (the stream tail) and
+    ``weights`` is the aligned per-interaction recency weight.  The
+    exclusive-pair penalty and level factor ``exp(eta - k)`` are
+    unchanged from :func:`repro.core.weighting.consistency_weights`;
+    only the TF inputs decay with age, so a user whose conflicting
+    interests are all stale drifts back toward CON = 1.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if len(indices) != len(weights):
+        raise ValueError("indices and weights must align")
+    relations: LogicalRelations = dataset.relations
+    con = np.ones(dataset.n_users, dtype=np.float64)
+    if len(relations.exclusion) == 0 or len(indices) == 0:
+        return con
+    pairs = relations.exclusion
+    levels = (relations.exclusion_levels
+              if len(relations.exclusion_levels) == len(pairs)
+              else np.full(len(pairs), eta, dtype=np.int64))
+    level_factor = np.exp(eta - levels.astype(np.float64))
+
+    users = dataset.user_ids[indices]
+    items = dataset.item_ids[indices]
+    per_item_tags = dataset.tags_of_items(items)
+    # Expand to one (tag, weight) entry per tag occurrence per
+    # interaction — the weighted analogue of user_tag_lists.
+    by_user: Dict[int, list] = {}
+    for u, tags, w in zip(users, per_item_tags, weights):
+        if len(tags):
+            by_user.setdefault(int(u), []).append(
+                (tags.astype(np.int64), np.full(len(tags), w)))
+    for u, chunks in by_user.items():
+        tags = np.concatenate([c[0] for c in chunks])
+        tag_w = np.concatenate([c[1] for c in chunks])
+        tf = weighted_tag_frequencies(tags, tag_w)
+        if not tf:
+            continue
+        present = set(tf)
+        penalty = 0.0
+        for (t_i, t_j), factor in zip(pairs, level_factor):
+            if int(t_i) in present and int(t_j) in present:
+                penalty += tf[int(t_i)] * tf[int(t_j)] * factor
+        con[u] = np.exp(-penalty)
+    return con
+
+
+def tag_prior_neighbors(dataset: InteractionDataset, old_n_items: int,
+                        max_neighbors: int = 5
+                        ) -> Dict[int, np.ndarray]:
+    """Warm items sharing tags with each cold item, most-overlap first.
+
+    The tag prior for cold-start item initialization: a new item's
+    embedding starts near items carrying the same tags (siblings in the
+    taxonomy sense), instead of at a random point the fine-tune epochs
+    would have to drag across the manifold.  Items with no tag overlap
+    get no entry (they fall back to the centroid/origin prior in
+    :meth:`~repro.models.base.Recommender.resize_universe`).
+    """
+    out: Dict[int, np.ndarray] = {}
+    q = dataset.item_tags.tocsr()
+    if old_n_items >= dataset.n_items or q.shape[1] == 0:
+        return out
+    warm = q[:old_n_items]
+    for item in range(old_n_items, dataset.n_items):
+        row = q[item]
+        if row.nnz == 0:
+            continue
+        overlap = np.asarray(warm @ row.T.todense()).ravel()
+        if not np.any(overlap > 0):
+            continue
+        ranked = np.argsort(-overlap, kind="stable")
+        ranked = ranked[overlap[ranked] > 0][:max_neighbors]
+        out[item] = ranked.astype(np.int64)
+    return out
+
+
+def incremental_finetune(checkpoint_dir, dataset: InteractionDataset, *,
+                         epochs: int = 3, tail_frac: float = 0.25,
+                         half_life: Optional[float] = None,
+                         init_scale: float = 0.01,
+                         supervisor=None,
+                         save_to=None) -> Dict[str, object]:
+    """Warm-start from a checkpoint, grow, and fine-tune on the tail.
+
+    Loads the checkpoint *without* a dataset (so it comes back at its
+    checkpointed universe sizes, unprepared), grows the embedding
+    tables to the streamed-in universe with the tag prior, then
+    fine-tunes ``epochs`` epochs on the recency tail — under the
+    supplied :class:`~repro.robust.TrainingSupervisor` when given.  The
+    optimizer is built fresh inside ``fit`` (grown tables cannot reuse
+    stale optimizer state).  Returns ``{"model", "growth", "split",
+    ...}``; ``save_to`` writes the fine-tuned checkpoint.
+
+    ``half_life`` defaults to a quarter of the tail's time span — fresh
+    events dominate without zeroing out the back of the tail.
+    """
+    from repro.core.logirec_pp import LogiRecPP
+    from repro.serve.checkpoint import load_checkpoint, save_checkpoint
+
+    model = load_checkpoint(checkpoint_dir)
+    old_users, old_items = model.n_users, model.n_items
+    neighbors = tag_prior_neighbors(dataset, old_items)
+    growth = model.resize_universe(dataset.n_users, dataset.n_items,
+                                   item_neighbors=neighbors,
+                                   init_scale=init_scale)
+    split = recency_tail_split(dataset, tail_frac=tail_frac)
+    tail_t = dataset.timestamps[split.train]
+    if half_life is None:
+        span = float(tail_t.max() - tail_t.min()) if len(tail_t) else 0.0
+        half_life = max(1.0, span / 4.0)
+    weights = recency_weights(tail_t, half_life)
+
+    model.config.epochs = int(epochs)
+    if isinstance(model, LogiRecPP):
+        # fit() calls prepare(), which recomputes CON from the split the
+        # offline way; shadow it per instance so the online CON uses the
+        # recency-weighted TF, then refresh alpha as usual.
+        base_prepare = model.prepare
+
+        def _prepare_with_recency(ds, sp):
+            base_prepare(ds, sp)
+            model._con = recency_weighted_consistency(
+                ds, sp.train, weights, eta=model.config.eta)
+            model._refresh_alpha()
+
+        model.prepare = _prepare_with_recency
+
+    with obs.trace("online/finetune", model=type(model).__name__,
+                   epochs=int(epochs), tail=len(split.train)):
+        model.fit(dataset, split, supervisor=supervisor)
+    if isinstance(model, LogiRecPP):
+        del model.prepare  # restore the class method
+
+    record: Dict[str, object] = {
+        "model": model,
+        "model_class": type(model).__name__,
+        "growth": growth,
+        "split": split,
+        "n_tail": int(len(split.train)),
+        "half_life": float(half_life),
+        "epochs": int(epochs),
+        "final_loss": (float(model.loss_history[-1])
+                       if model.loss_history else None),
+    }
+    if supervisor is not None:
+        record["supervisor"] = supervisor.summary()
+    if save_to is not None:
+        record["checkpoint"] = str(
+            save_checkpoint(model, save_to, dataset=dataset))
+    if obs.enabled():
+        obs.count("online/finetunes")
+        obs.gauge_set("online/new_users", float(growth["new_users"]))
+        obs.gauge_set("online/new_items", float(growth["new_items"]))
+    return record

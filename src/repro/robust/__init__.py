@@ -5,8 +5,9 @@ halves of the system:
 
 * :mod:`repro.robust.faults` — :class:`FaultPlan`, a seeded schedule of
   NaN gradients, poisoned parameters, process-kill points, corrupted
-  checkpoint bytes, and failing/slow scoring calls, replayable
-  bit-identically from tests, drills, and ``repro robust inject``.
+  checkpoint bytes, failing/slow scoring calls, and poisoned event
+  streams, replayable bit-identically from tests, drills, and
+  ``repro robust inject``.
 * :mod:`repro.robust.policies` — frozen policy dataclasses
   (:class:`RetryPolicy`, :class:`BreakerPolicy`,
   :class:`ResilienceConfig`) shared by training and serving.
@@ -22,8 +23,8 @@ halves of the system:
 
 from repro.robust.breaker import CircuitBreaker
 from repro.robust.faults import (FAULT_KINDS, PROCESS_KINDS,
-                                 FaultInjectionError, FaultPlan,
-                                 FaultSpec, FaultyIndex,
+                                 STREAM_KINDS, FaultInjectionError,
+                                 FaultPlan, FaultSpec, FaultyIndex,
                                  InjectedScoringError, SimulatedCrash)
 from repro.robust.policies import (BreakerPolicy, ResilienceConfig,
                                    RetryPolicy)
@@ -34,6 +35,7 @@ from repro.robust.training import (TrainingDivergedError,
 __all__ = [
     "FAULT_KINDS",
     "PROCESS_KINDS",
+    "STREAM_KINDS",
     "FaultInjectionError",
     "FaultPlan",
     "FaultSpec",

@@ -224,6 +224,110 @@ def run_frontend_drill(model_name: str = "BPRMF",
     }
 
 
+def run_stream_drill(kind: str = "journal_corrupt",
+                     dataset_name: str = "cd", n_events: int = 20,
+                     workdir=None, seed: int = 0) -> Dict[str, object]:
+    """Inject one stream fault into a live ingest loop; assert containment.
+
+    ``detected=True`` means the poison surfaced as a typed
+    :class:`~repro.data.dataset.StreamError`; ``contained=True`` means
+    the ingest state survived untouched — replay cursor not advanced
+    past the poison, dataset interaction count and universe unchanged.
+    Both must hold for the drill to pass.  For ``event_duplicate`` the
+    drill additionally shows the default at-least-once policy
+    (``on_duplicate="skip"``) absorbing the same re-delivery cleanly.
+    """
+    import tempfile
+
+    from repro.data import load_dataset
+    from repro.data.dataset import StreamError
+    from repro.online.events import (EventJournal, InteractionEvent,
+                                     simulate_events)
+    from repro.online.ingest import StreamIngestor
+
+    if kind not in ("journal_corrupt", "event_disorder",
+                    "event_duplicate"):
+        raise ValueError(f"unknown stream fault kind {kind!r}")
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro_stream_drill_")
+    plan = FaultPlan([FaultSpec(kind)], seed=seed)
+
+    dataset = load_dataset(dataset_name)
+    journal = EventJournal(Path(workdir) / "journal.jsonl")
+    clean = simulate_events(dataset, n_events, seed=seed)
+    policy = "error" if kind == "event_duplicate" else "skip"
+    ingestor = StreamIngestor(dataset, journal, on_duplicate=policy)
+
+    plan.take_stream(kind)
+    if kind == "journal_corrupt":
+        # A clean prefix ingests first; the poison lands in a later
+        # record, so the drill also proves the cursor holds its ground.
+        journal.append(clean[:n_events // 2])
+        ingestor.drain()
+        end = journal.append(clean[n_events // 2:])
+        # Flip one seeded byte inside the fresh records (never the
+        # final newline — that would read as a torn write, not
+        # corruption, and legitimately defer the tail).
+        blob = bytearray(journal.path.read_bytes())
+        span = end - ingestor.offset - 1
+        offset = ingestor.offset + int(
+            np.random.default_rng(seed).integers(0, span))
+        blob[offset] ^= 0xFF
+        journal.path.write_bytes(bytes(blob))
+    elif kind == "event_disorder":
+        journal.append(clean[:5])
+        ingestor.drain()
+        t0 = int(dataset.timestamps.max())
+        disordered = [
+            InteractionEvent(e.user_id, e.item_id, t0 + 10 - 3 * j)
+            for j, e in enumerate(clean[5:8])]
+        journal.append(disordered)
+    else:  # event_duplicate
+        journal.append(clean[:5])
+        ingestor.drain()
+        # At-least-once re-delivery: same (user, item), fresh timestamp.
+        journal.append([InteractionEvent(
+            clean[0].user_id, clean[0].item_id,
+            int(dataset.timestamps.max()) + 1)])
+
+    offset_before = ingestor.offset
+    interactions_before = dataset.n_interactions
+    universe_before = (dataset.n_users, dataset.n_items)
+    detected = False
+    error = None
+    try:
+        ingestor.drain()
+    except StreamError as exc:
+        detected = True
+        error = str(exc)
+    contained = (ingestor.offset == offset_before
+                 and dataset.n_interactions == interactions_before
+                 and (dataset.n_users, dataset.n_items) == universe_before)
+
+    record: Dict[str, object] = {
+        "kind": kind,
+        "dataset": dataset_name,
+        "detected": detected,
+        "contained": contained,
+        "offset": int(ingestor.offset),
+        "n_interactions": int(dataset.n_interactions),
+        "error": error,
+        "faults_injected": plan.counts(),
+        "passed": detected and contained,
+    }
+    if kind == "event_duplicate":
+        # The default policy must absorb the same re-delivery.
+        lenient = StreamIngestor(dataset, journal, on_duplicate="skip")
+        lenient.offset = offset_before
+        summary = lenient.drain()
+        record["skip_policy_duplicates"] = summary["n_duplicates"]
+        record["skip_policy_appended"] = summary["n_appended"]
+        record["passed"] = bool(record["passed"]
+                                and summary["n_duplicates"] >= 1
+                                and summary["n_appended"] == 0)
+    return record
+
+
 def run_checkpoint_drill(path, seed: int = 0) -> Dict[str, object]:
     """Corrupt one byte of a checkpoint and verify loading rejects it.
 

@@ -39,6 +39,18 @@ Fault kinds
     sleep ``delay_s`` with probability ``rate`` before scoring —
     drives queue growth, deadline expiry, and load shedding on one
     slice of the user space.
+``journal_corrupt``
+    Flip one byte of an event-journal record in place — the reader
+    must raise a typed :class:`~repro.data.dataset.StreamError`
+    carrying the poison offset instead of ingesting garbage.
+``event_disorder``
+    Deliver a batch whose timestamps go backwards — ingest must
+    reject it before mutating (the temporal-split contract).
+``event_duplicate``
+    Re-deliver an already-ingested ``(user, item)`` pair — skipped
+    under the default at-least-once policy, a typed error under
+    ``on_duplicate="error"``.  Stream faults are exercised through
+    :func:`repro.robust.drills.run_stream_drill`.
 
 Training faults fire **once** by default (``once=True``): after the
 recovery machinery rolls the run back, the retry proceeds cleanly —
@@ -60,7 +72,9 @@ import numpy as np
 TRAINING_KINDS = ("nan_grad", "nan_param", "kill")
 SCORING_KINDS = ("score_error", "score_delay")
 PROCESS_KINDS = ("worker_kill", "worker_stall", "slow_shard")
-FAULT_KINDS = TRAINING_KINDS + SCORING_KINDS + PROCESS_KINDS
+STREAM_KINDS = ("journal_corrupt", "event_disorder", "event_duplicate")
+FAULT_KINDS = TRAINING_KINDS + SCORING_KINDS + PROCESS_KINDS \
+    + STREAM_KINDS
 
 
 class FaultInjectionError(Exception):
@@ -112,7 +126,8 @@ class FaultSpec:
                 f"slow_shard needs a positive delay_s, got {self.delay_s}")
 
     def exhausted(self) -> bool:
-        if self.kind in TRAINING_KINDS + ("worker_kill", "worker_stall"):
+        if self.kind in (TRAINING_KINDS + ("worker_kill", "worker_stall")
+                         + STREAM_KINDS):
             return self.once and self.fired > 0
         return self.max_faults is not None and self.fired >= self.max_faults
 
@@ -187,6 +202,19 @@ class FaultPlan:
         if hit is not None:
             self._record(hit, delay_s=hit.delay_s)
         return hit
+
+    # ------------------------------------------------------------------
+    # Stream-side draws (consulted by the ingest drill)
+    # ------------------------------------------------------------------
+    def take_stream(self, kind: str) -> Optional[FaultSpec]:
+        """The unexpired stream spec of ``kind``, marking it fired."""
+        if kind not in STREAM_KINDS:
+            raise ValueError(f"not a stream fault kind: {kind!r}")
+        for spec in self.specs:
+            if spec.kind == kind and not spec.exhausted():
+                self._record(spec)
+                return spec
+        return None
 
     # ------------------------------------------------------------------
     # Artifact corruption

@@ -447,6 +447,44 @@ class RecommendService:
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
+    # Hot swap (online learning)
+    # ------------------------------------------------------------------
+    def swap_index(self, new_index: RetrievalIndex, *,
+                   keep_stale_fallback: bool = True) -> Dict[str, object]:
+        """Atomically replace the live index with a fresher one.
+
+        The outgoing index becomes the ``stale_index`` fallback (when
+        ``keep_stale_fallback``), so a request that fails on the new
+        index during the cutover window still gets the ranking the old
+        index would have served — PR5's degraded mode is the swap
+        window's safety net.  The response cache is cleared (entries
+        were computed against the old scores).  Single-threaded callers
+        see the swap as one attribute rebind between ``query_batch``
+        calls; the multi-process front-end adds its own drain protocol
+        on top (:meth:`repro.serve.frontend.ServingFrontend.swap_index`).
+        """
+        old_index = self.index
+        old_users, old_items = old_index.n_users, old_index.n_items
+        self.index = new_index
+        if keep_stale_fallback:
+            self.fallback_index = old_index
+        self._cache.clear()
+        # The breaker's error window measured the *old* index's health;
+        # carrying an open breaker over would short-circuit the fresh
+        # index for faults it never produced (the multi-worker swap gets
+        # the same clean slate from its replacement supervisor).
+        self.breaker = CircuitBreaker(self.config.breaker,
+                                      on_transition=self._breaker_transition)
+        self.stats["index_swaps"] = self.stats.get("index_swaps", 0) + 1
+        obs.count("serve/index_swaps")
+        obs.trace_event("serve/index_swap",
+                        old_users=old_users, new_users=new_index.n_users,
+                        old_items=old_items, new_items=new_index.n_items)
+        return {"swaps": self.stats["index_swaps"],
+                "new_users": new_index.n_users - old_users,
+                "new_items": new_index.n_items - old_items}
+
+    # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
         """Current cache occupancy plus the lifetime counters."""
         return {"size": len(self._cache),

@@ -139,13 +139,16 @@ class ServingFrontend:
         self._started = False
         self._draining = False
         self._stopping = False
+        self._swapping = False
+        self._swap_pausing = False
         self._threads: List[threading.Thread] = []
         self.counters: Dict[str, int] = {
             "requests": 0, "admitted": 0, "completed": 0,
             "shed_requests": 0, "shed_queue_full": 0,
             "shed_wait_budget": 0, "shed_deadline": 0,
             "draining_rejects": 0, "degraded_fallbacks": 0,
-            "failovers": 0, "unknown_users": 0}
+            "failovers": 0, "unknown_users": 0,
+            "index_swaps": 0, "swap_stragglers": 0}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -242,6 +245,165 @@ class ServingFrontend:
             self._arena.close()
             self._arena = None
         self._started = False
+
+    # ------------------------------------------------------------------
+    # Hot swap (online learning)
+    # ------------------------------------------------------------------
+    def swap_index(self, new_index: RetrievalIndex, *,
+                   drain_timeout_s: Optional[float] = None
+                   ) -> Dict[str, object]:
+        """Replace the served index with zero dropped requests.
+
+        The protocol, in order:
+
+        1. **Warm.**  A complete replacement fleet — new shared-memory
+           arena, new response queue, new :class:`WorkerSupervisor` —
+           is built and brought to ready while the old fleet keeps
+           serving.  The queues are separate by design: worker ids and
+           generations restart from scratch in the new supervisor, so
+           sharing the old queue would let stale messages collide in
+           ``note_alive`` / ``is_current``.
+        2. **Pause + drain.**  The dispatcher stops handing batches to
+           workers (``submit`` stays open — arrivals queue up) and the
+           in-flight requests on the old fleet drain through the old
+           response pump.  Stragglers past ``drain_timeout_s`` resolve
+           from the degraded fallback — allowed in the swap window,
+           never dropped.
+        3. **Cutover.**  Under the lock, supervisor / arena / response
+           queue / index rebind atomically and the dispatcher resumes
+           against the new fleet.  The pump re-reads the queue
+           attribute every iteration, so it follows the swap on its
+           next ``get``.
+        4. **Teardown.**  The old supervisor stops, then its queue and
+           arena close.  A late message from an old worker at most
+           lands one no-op ``note_alive`` before the old queue dies.
+
+        Post-swap, users/items that exist only in ``new_index`` are
+        servable: admission checks ``self.index.n_users``, which now
+        covers them.  Returns swap latency and straggler counts.
+        """
+        t0 = time.monotonic()
+        with self._lock:
+            if not self._started or self._stopping or self._draining:
+                raise RuntimeError(
+                    "swap_index requires a running front-end")
+            if self._swapping:
+                raise RuntimeError("an index swap is already in progress")
+            self._swapping = True
+        new_arena = new_queue = new_sup = None
+        try:
+            # Phase 1: warm the replacement fleet (old fleet serving).
+            new_arena = create_shards(new_index, self.config.n_workers)
+            new_queue = self._mp.Queue()
+            # The replacement starts with a clean slate: no fault plan
+            # (a swap is also the recovery path out of an injected
+            # fault) and no failover hook until it owns live requests.
+            new_sup = WorkerSupervisor(
+                new_arena.layout, self.config, new_queue,
+                faults=None, mp_context=self._mp, on_failure=None)
+            new_sup.start()
+            new_sup.wait_ready(
+                lambda: self._pump_swap_queue(new_queue, new_sup))
+
+            # Phase 2: pause dispatch, drain in-flight on the old fleet.
+            with self._lock:
+                self._swap_pausing = True
+            budget = self.config.drain_timeout_s \
+                if drain_timeout_s is None else drain_timeout_s
+            deadline = time.monotonic() + budget
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not any(p.worker_id is not None
+                               for p in self._pending.values()):
+                        break
+                time.sleep(0.002)
+
+            # Phase 3: sweep stragglers + cutover, atomically.
+            swept = 0
+            with self._lock:
+                stragglers = [p for p in self._pending.values()
+                              if p.worker_id is not None]
+                for pending in stragglers:
+                    self.counters["degraded_fallbacks"] += 1
+                    self.counters["swap_stragglers"] += 1
+                    self._resolve_locked(pending, self._degraded_result(
+                        pending.user_id, pending.k))
+                    swept += 1
+                old_sup = self.supervisor
+                old_queue = self._response_queue
+                old_arena = self._arena
+                self.supervisor = new_sup
+                self._response_queue = new_queue
+                self._arena = new_arena
+                self.index = new_index
+                new_sup.on_failure = self._failover
+                self.counters["index_swaps"] += 1
+                self._swap_pausing = False
+                self._admit_cv.notify_all()
+            new_arena = new_queue = new_sup = None  # now owned live
+        except Exception:
+            if new_sup is not None:
+                new_sup.stop()
+            if new_queue is not None:
+                new_queue.close()
+                new_queue.join_thread()
+            if new_arena is not None:
+                new_arena.close()
+            raise
+        finally:
+            with self._lock:
+                self._swapping = False
+                self._swap_pausing = False
+                self._admit_cv.notify_all()
+
+        # Phase 4: tear down the old fleet (no live requests point at
+        # it — phase 2/3 drained or resolved every assigned request).
+        old_sup.on_failure = None
+        old_sup.stop()
+        old_queue.close()
+        old_queue.join_thread()
+        old_arena.close()
+        latency_ms = (time.monotonic() - t0) * 1e3
+        if self.config.telemetry:
+            obs.count("frontend/index_swaps")
+            obs.observe("frontend/swap_latency_ms", latency_ms)
+            obs.trace_event("frontend/index_swap",
+                            latency_ms=round(latency_ms, 3),
+                            stragglers=swept,
+                            n_users=new_index.n_users,
+                            n_items=new_index.n_items)
+        LOG.info("index swap complete in %.1fms (%d straggler(s) served "
+                 "degraded)", latency_ms, swept)
+        return {"swap_latency_ms": latency_ms, "stragglers": swept,
+                "n_users": new_index.n_users,
+                "n_items": new_index.n_items}
+
+    def _pump_swap_queue(self, response_queue, supervisor) -> None:
+        """Drain a warming fleet's own queue (heartbeats) during a swap.
+
+        The main pump thread still owns the *old* queue at this point;
+        readiness heartbeats of the replacement fleet flow through here
+        until the cutover hands its queue to the main pump.
+        """
+        import queue as queue_mod
+        try:
+            while True:
+                message = response_queue.get_nowait()
+                tag = message[0]
+                if tag == HEARTBEAT:
+                    _, worker_id, generation, _, handled, stats, \
+                        breaker = message
+                    supervisor.note_alive(worker_id, generation,
+                                          handled, stats, breaker)
+                elif tag == RESULT:
+                    (_, worker_id, generation, _, _, _, stats,
+                     breaker) = message
+                    supervisor.note_alive(worker_id, generation,
+                                          stats.get("requests", 0),
+                                          stats, breaker)
+        except queue_mod.Empty:
+            pass
+        time.sleep(0.005)
 
     # ------------------------------------------------------------------
     # Admission (any thread)
@@ -420,7 +582,11 @@ class ServingFrontend:
         window = self.config.batch_window_ms / 1e3
         while True:
             with self._admit_cv:
-                while not self._admitted and not self._stopping:
+                # A swap in its pause window holds dispatch entirely:
+                # arrivals keep queueing in _admitted and flow to the
+                # new fleet the moment the cutover notifies.
+                while ((not self._admitted or self._swap_pausing)
+                        and not self._stopping):
                     self._admit_cv.wait(timeout=0.1)
                 if self._stopping:
                     return

@@ -179,6 +179,43 @@ class RetrievalIndex:
         return csr_row_coords(self.train_indptr, self.train_indices,
                               user_ids)
 
+    def with_extended_seen(self, user_ids: np.ndarray,
+                           item_ids: np.ndarray) -> "RetrievalIndex":
+        """A new index sharing this one's scores with a fresher seen mask.
+
+        The online-ingest fast path: streamed interactions must stop
+        being recommended back immediately, long before the next
+        fine-tune re-exports scoring tables.  Score arrays are shared
+        (no copy); only the seen-mask CSR is rebuilt with the new
+        ``(user, item)`` pairs appended and deduplicated.  Users beyond
+        ``n_users`` are ignored here — truly cold users are served from
+        popularity until a fine-tuned index lands.
+
+        Returns a *new* index (generation-bumped in ``meta``) so callers
+        swap it in atomically rather than mutating a live one.
+        """
+        user_ids = np.asarray(user_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        known = (user_ids >= 0) & (user_ids < self.n_users) \
+            & (item_ids >= 0) & (item_ids < self.n_items)
+        user_ids, item_ids = user_ids[known], item_ids[known]
+        counts = np.diff(self.train_indptr)
+        old_users = np.repeat(np.arange(self.n_users, dtype=np.int64),
+                              counts)
+        all_u = np.concatenate([old_users, user_ids])
+        all_i = np.concatenate([self.train_indices, item_ids])
+        keys = np.unique(all_u * np.int64(self.n_items) + all_i)
+        new_users, new_items = keys // self.n_items, keys % self.n_items
+        indptr = np.zeros(self.n_users + 1, dtype=np.int64)
+        np.add.at(indptr, new_users + 1, 1)
+        indptr = np.cumsum(indptr)
+        meta = dict(self.meta)
+        meta["generation"] = int(meta.get("generation", 0)) + 1
+        return RetrievalIndex(kind=self.kind, arrays=self.arrays,
+                              scalars=self.scalars, train_indptr=indptr,
+                              train_indices=new_items,
+                              popularity=self.popularity, meta=meta)
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
