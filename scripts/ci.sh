@@ -35,6 +35,11 @@
 #              recovery on the next swap; a poisoned event stream
 #              must be rejected with a typed error and no dataset
 #              mutation.
+#  10. experiments — a tiny 2-model × 1-dataset × 2-seed spec run
+#              through `repro exp run` twice: the second run must
+#              report 100% cache hits and zero retrains; `exp status`
+#              must honor its exit-code contract (0 complete /
+#              1 partial / 2 nothing run).
 #
 # Usage: bash scripts/ci.sh            (from the repo root)
 set -euo pipefail
@@ -275,6 +280,33 @@ for kind in journal_corrupt event_disorder event_duplicate; do
     grep -q "fault detected and contained" "$smoke_dir/n5.txt"
     grep -q "contained: True" "$smoke_dir/n5.txt"
 done
+echo "ok"
+
+echo "== experiment DAG cache/resume =="
+exp_dir="$smoke_dir/exp"
+exp_flags="--kind comparison --models BPRMF CML --datasets ciao \
+    --seeds 0 1 --epochs 2"
+# First run executes every node over a 2-wide process pool...
+python -m repro exp run $exp_flags --workdir "$exp_dir" --workers 2 \
+    --no-tables > "$smoke_dir/x1.txt"
+grep -q "cached (0%)" "$smoke_dir/x1.txt"
+# ...and an identical rerun must skip all of them: 100% cache hits,
+# zero retrains.
+python -m repro exp run $exp_flags --workdir "$exp_dir" --no-tables \
+    > "$smoke_dir/x2.txt"
+grep -q "cached (100%)" "$smoke_dir/x2.txt"
+grep -q "0 retrain(s)" "$smoke_dir/x2.txt"
+# exp status exit-code contract: 0 complete / 1 partial / 2 nothing run.
+python -m repro exp status $exp_flags --workdir "$exp_dir" > /dev/null
+rc=0
+python -m repro exp status --kind comparison --models BPRMF CML \
+    --datasets ciao --seeds 0 1 2 --epochs 2 --workdir "$exp_dir" \
+    > /dev/null || rc=$?
+[ "$rc" -eq 1 ]
+rc=0
+python -m repro exp status $exp_flags --workdir "$smoke_dir/exp-empty" \
+    > /dev/null || rc=$?
+[ "$rc" -eq 2 ]
 echo "ok"
 
 echo "== all gates passed =="

@@ -1,20 +1,38 @@
 #!/usr/bin/env bash
 # Regenerate every artifact of the reproduction from scratch.
 #
-# Usage: bash scripts/reproduce_all.sh [--fast]
+# The paper grid — Table II comparison, Table III ablations, Table IV
+# hyperparameter study, the Fig. 6 λ sweep, taxonomy-corruption
+# robustness, and Table V case studies — is one spec now: a single
+# `repro exp run --kind grid` compiles it to a DAG of cacheable nodes
+# and executes the incomplete ones over a process pool.  Re-running
+# this script resumes from exp_cache/ instead of starting over, and a
+# killed run continues from its training auto-checkpoints
+# (`repro exp resume` does the same without re-stating the spec).
+#
+# Usage: bash scripts/reproduce_all.sh [--fast] [extra `exp run` flags]
 #   --fast  cut every training budget (smoke-run of the harness)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+export PYTHONPATH=src
 
+grid_flags=()
 if [[ "${1:-}" == "--fast" ]]; then
+    shift
     export REPRO_BENCH_FAST=1
+    grid_flags+=(--epochs 3)
     echo "[fast mode: reduced budgets]"
 fi
 
 echo "== tests =="
 pytest tests/ 2>&1 | tee test_output.txt | tail -2
 
-echo "== benchmarks (tables + figures) =="
+echo "== experiment grid (all tables + figures' numbers) =="
+python -m repro exp run --kind grid --workdir exp_cache \
+    --workers "$(nproc 2>/dev/null || echo 2)" \
+    "${grid_flags[@]}" ${*:-} 2>&1 | tee grid_output.txt | tail -40
+
+echo "== benchmarks (perf floors + figures) =="
 pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt | tail -4
 
 echo "== examples =="
@@ -24,4 +42,5 @@ python examples/relation_mining.py
 python examples/custom_data.py
 python examples/compare_models.py ciao --fast
 
-echo "Artifacts: benchmarks/output/*.txt, test_output.txt, bench_output.txt"
+echo "Artifacts: grid_output.txt (+ exp_cache/ node results), \
+benchmarks/output/*.txt, test_output.txt, bench_output.txt"

@@ -4,9 +4,17 @@ Commands
 --------
 stats        Print Table-I statistics for the named datasets.
 train        Train one zoo model on one dataset and report test metrics.
-compare      Run a Table-II style comparison.
-ablation     Run the Table-III ablation variants.
-cases        Print Table-V style case studies.
+exp          Resumable experiment DAG: declare an ExperimentSpec
+             (``run``), inspect completion against the node cache
+             (``status``, exit 0 complete / 1 partial / 2 nothing run),
+             continue a killed run bit-identically (``resume``), or
+             drop the cache (``clean``).  ``--workers N`` fans training
+             out over a process pool; every cached node is skipped on
+             rerun.
+compare      Run a Table-II style comparison (wrapper over ``exp run``).
+ablation     Run the Table-III ablation variants (wrapper over
+             ``exp run``).
+cases        Print Table-V style case studies (wrapper over ``exp run``).
 obs          Telemetry utilities: summarize (``--json`` for machines) /
              list run directories, export a Chrome/Perfetto trace
              (``export-trace``), evaluate service-level objectives
@@ -166,19 +174,126 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(train)
     _add_telemetry(train)
 
-    compare = sub.add_parser("compare", help="Table-II comparison")
+    exp_cmd = sub.add_parser(
+        "exp", help="resumable experiment DAG (spec -> graph -> "
+                    "process-pool scheduler with a config-hash cache)")
+    exp_sub = exp_cmd.add_subparsers(dest="exp_command", required=True)
+
+    def _add_workdir(p):
+        p.add_argument("--workdir", default="exp_cache", metavar="DIR",
+                       help="node-result cache / resume directory "
+                            "(default: exp_cache)")
+
+    def _add_spec_flags(p):
+        p.add_argument("--spec", default=None, metavar="FILE",
+                       help="JSON ExperimentSpec file (overrides the "
+                            "spec flags below)")
+        p.add_argument("--kind", default="comparison",
+                       choices=["comparison", "ablation", "sweep",
+                                "lambda", "robustness", "cases", "grid"])
+        p.add_argument("--models", nargs="*", default=None,
+                       help="[comparison/grid] zoo models (default: all)")
+        p.add_argument("--datasets", nargs="*", default=None,
+                       choices=["ciao", "cd", "clothing", "book"],
+                       help="datasets (default: the kind's paper choice)")
+        p.add_argument("--variants", nargs="*", default=None,
+                       help="[ablation/grid] Table-III variants "
+                            "(default: all)")
+        p.add_argument("--params", nargs="*", default=None,
+                       help="[sweep/grid] Table-IV hyperparameters "
+                            "(default: all)")
+        p.add_argument("--lambdas", nargs="*", type=float, default=None,
+                       help="[lambda/grid] λ grid")
+        p.add_argument("--fractions", nargs="*", type=float, default=None,
+                       help="[robustness/grid] corruption fractions")
+        p.add_argument("--baseline", default="HRCF",
+                       help="[lambda/grid] fixed comparison model")
+        p.add_argument("--seeds", nargs="*", type=int, default=[0])
+        p.add_argument("--ks", nargs="*", type=int, default=None,
+                       help="ranking cutoffs (default: 10 20)")
+        p.add_argument("--epochs", type=int, default=None,
+                       help="budget override for every training node")
+        p.add_argument("--scale", type=float, default=1.0)
+        _add_backend(p)
+
+    exp_run = exp_sub.add_parser(
+        "run", help="execute (or continue) the spec's node graph; "
+                    "cached nodes are skipped")
+    _add_spec_flags(exp_run)
+    _add_workdir(exp_run)
+    exp_run.add_argument("--workers", type=int, default=0,
+                         help="process-pool width; 0/1 runs inline "
+                              "(workers re-select --backend after "
+                              "fork/spawn)")
+    exp_run.add_argument("--ephemeral", action="store_true",
+                         help="in-memory store: nothing cached, nothing "
+                              "resumable (what the deprecated "
+                              "entrypoints use)")
+    exp_run.add_argument("--no-tables", action="store_true",
+                         help="print only the cache summary, not the "
+                              "rendered tables")
+    _add_telemetry(exp_run)
+
+    exp_status = exp_sub.add_parser(
+        "status", help="completion of a spec against the cache; exit 0 "
+                       "complete / 1 partial / 2 nothing run")
+    _add_spec_flags(exp_status)
+    _add_workdir(exp_status)
+
+    exp_resume = exp_sub.add_parser(
+        "resume", help="re-run the newest recorded spec (or --spec); "
+                       "completed nodes are skipped and interrupted "
+                       "training continues from its auto-checkpoint, "
+                       "bit-identical to an uninterrupted run")
+    exp_resume.add_argument("--spec", default=None, metavar="FILE",
+                            help="JSON ExperimentSpec file (default: "
+                                 "newest spec recorded in --workdir)")
+    _add_workdir(exp_resume)
+    exp_resume.add_argument("--workers", type=int, default=0)
+    exp_resume.add_argument("--no-tables", action="store_true")
+    _add_backend(exp_resume)
+    _add_telemetry(exp_resume)
+
+    exp_clean = exp_sub.add_parser(
+        "clean", help="drop every cached node result and spec record")
+    _add_workdir(exp_clean)
+
+    compare = sub.add_parser(
+        "compare", help="Table-II comparison (wrapper over `repro exp "
+                        "run --kind comparison`)")
     compare.add_argument("--models", nargs="*", default=None)
     compare.add_argument("--datasets", nargs="*", default=["ciao", "cd"])
     compare.add_argument("--epochs", type=int, default=None)
     compare.add_argument("--seeds", nargs="*", type=int, default=[0])
+    compare.add_argument("--workdir", default=None, metavar="DIR",
+                         help="cache/resume directory (default: "
+                              "ephemeral; see `repro exp run`)")
+    compare.add_argument("--workers", type=int, default=0,
+                         help="process-pool width (needs --workdir)")
     _add_backend(compare)
     _add_telemetry(compare)
 
-    ablation = sub.add_parser("ablation", help="Table-III ablations")
+    ablation = sub.add_parser(
+        "ablation", help="Table-III ablations (wrapper over `repro exp "
+                         "run --kind ablation`)")
     _add_common(ablation)
+    ablation.add_argument("--workdir", default=None, metavar="DIR",
+                          help="cache/resume directory (default: "
+                               "ephemeral; see `repro exp run`)")
+    ablation.add_argument("--workers", type=int, default=0,
+                          help="process-pool width (needs --workdir)")
+    _add_telemetry(ablation)
 
-    cases = sub.add_parser("cases", help="Table-V case studies")
+    cases = sub.add_parser(
+        "cases", help="Table-V case studies (wrapper over `repro exp "
+                      "run --kind cases`)")
     _add_common(cases)
+    cases.add_argument("--workdir", default=None, metavar="DIR",
+                       help="cache/resume directory (default: "
+                            "ephemeral; see `repro exp run`)")
+    cases.add_argument("--workers", type=int, default=0,
+                       help="process-pool width (needs --workdir)")
+    _add_telemetry(cases)
 
     obs_cmd = sub.add_parser("obs", help="telemetry run utilities")
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
@@ -519,53 +634,158 @@ def cmd_train(args) -> int:
     return 0
 
 
-def cmd_compare(args) -> int:
+def _current_backend_name() -> str:
+    from repro.tensor.backend import get_backend
+    return get_backend().name
+
+
+def _spec_from_flags(args):
+    """Build the ExperimentSpec an ``exp``-style namespace describes."""
+    from repro.experiments.dag import ExperimentSpec
+    if getattr(args, "spec", None):
+        spec = ExperimentSpec.from_file(args.spec)
+        if args.backend and args.backend != spec.backend:
+            spec = ExperimentSpec.from_dict(
+                {**spec.to_dict(), "backend": args.backend})
+        return spec
+    return ExperimentSpec(
+        kind=args.kind,
+        models=tuple(args.models) if args.models else (),
+        datasets=tuple(args.datasets) if args.datasets else (),
+        variants=tuple(args.variants) if args.variants else (),
+        params=tuple(args.params) if args.params else (),
+        lambdas=tuple(args.lambdas) if args.lambdas else (),
+        fractions=tuple(args.fractions) if args.fractions else (),
+        baseline=args.baseline, seeds=tuple(args.seeds),
+        ks=tuple(args.ks) if args.ks else (10, 20),
+        epochs=args.epochs, scale=args.scale,
+        backend=args.backend or _current_backend_name())
+
+
+def _run_spec(args, spec, *, command: str, workdir, workers: int,
+              tables: bool = True, render=None) -> int:
+    """Shared execution path of ``exp run|resume`` and the wrappers."""
     from repro import obs
-    from repro.experiments import format_comparison_table, run_comparison
-    run = _maybe_start_run(args, "compare", models=args.models,
-                           datasets=args.datasets, epochs=args.epochs,
-                           seeds=args.seeds)
-    with obs.trace("run", command="compare"):
-        results = run_comparison(model_names=args.models,
-                                 dataset_names=args.datasets,
-                                 seeds=tuple(args.seeds),
-                                 epochs_override=args.epochs)
-    print(format_comparison_table(results))
-    final = {f"{ds}/{model}/{metric}": mean_std[0]
-             for ds, per_model in results.items()
-             for model, metrics in per_model.items()
-             if model != "_per_user"
-             for metric, mean_std in metrics.items()}
+    from repro.experiments.dag import run_experiment
+    run = _maybe_start_run(args, command, kind=spec.kind,
+                           spec=spec.spec_hash(), workdir=workdir,
+                           workers=workers)
+    with obs.trace("run", command=command):
+        result = run_experiment(spec, workdir=workdir, workers=workers)
+    print(f"[exp] spec {spec.spec_hash()} ({spec.describe()})")
+    print(f"[exp] {result.stats.summary()}")
+    if workdir:
+        print(f"[exp] cached under {workdir} (inspect with: repro exp "
+              f"status --workdir {workdir}; rerun skips cached nodes)")
+    if tables:
+        print(result.format() if render is None else render(result))
+    final = {f"exp/{k}": float(v)
+             for k, v in result.stats.to_dict().items()
+             if isinstance(v, (int, float))}
     _finish_run(run, final_metrics=final)
     return 0
 
 
+def cmd_exp(args) -> int:
+    from repro.experiments.dag import (ExperimentSpec, ResultStore,
+                                       SpecError, clean_experiment,
+                                       experiment_status)
+    if args.exp_command == "clean":
+        n = clean_experiment(args.workdir)
+        print(f"[exp] removed {n} cached node(s) under {args.workdir}")
+        return 0
+    if args.exp_command == "resume":
+        if args.spec:
+            try:
+                spec = ExperimentSpec.from_file(args.spec)
+            except SpecError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            recorded = ResultStore(args.workdir).recorded_specs()
+            if not recorded:
+                print(f"error: nothing to resume under {args.workdir}; "
+                      f"start with `repro exp run` or pass --spec",
+                      file=sys.stderr)
+                return 2
+            spec = recorded[0]
+        if args.backend and args.backend != spec.backend:
+            spec = ExperimentSpec.from_dict(
+                {**spec.to_dict(), "backend": args.backend})
+        return _run_spec(args, spec, command="exp_resume",
+                         workdir=args.workdir, workers=args.workers,
+                         tables=not args.no_tables)
+    try:
+        spec = _spec_from_flags(args)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.exp_command == "status":
+        status = experiment_status(spec, args.workdir)
+        by_kind = {}
+        for node in status["nodes"]:
+            slot = by_kind.setdefault(node["kind"], [0, 0])
+            slot[0] += node["done"]
+            slot[1] += 1
+        print(f"[exp] spec {status['spec_hash']} ({spec.describe()}): "
+              f"{status['state']} — {status['done']}/{status['total']} "
+              f"node(s) under {args.workdir}")
+        for kind in ("dataset", "train", "eval", "cases", "aggregate"):
+            if kind in by_kind:
+                done, total = by_kind[kind]
+                print(f"  {kind}: {done}/{total}")
+        return {"complete": 0, "partial": 1, "empty": 2}[status["state"]]
+    # exp run
+    workdir = None if args.ephemeral else args.workdir
+    return _run_spec(args, spec, command="exp_run", workdir=workdir,
+                     workers=args.workers, tables=not args.no_tables)
+
+
+def cmd_compare(args) -> int:
+    from repro.experiments.dag import ExperimentSpec, SpecError
+    try:
+        spec = ExperimentSpec(
+            kind="comparison",
+            models=tuple(args.models) if args.models else (),
+            datasets=tuple(args.datasets), seeds=tuple(args.seeds),
+            epochs=args.epochs,
+            backend=args.backend or _current_backend_name())
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _run_spec(args, spec, command="compare",
+                     workdir=args.workdir, workers=args.workers)
+
+
 def cmd_ablation(args) -> int:
-    from repro.experiments import run_ablation
-    from repro.experiments.ablation import format_ablation_table
-    results = run_ablation(dataset_names=[args.dataset],
-                           epochs=args.epochs)
-    print(format_ablation_table(results))
-    return 0
+    from repro.experiments.dag import ExperimentSpec, SpecError
+    try:
+        spec = ExperimentSpec(
+            kind="ablation", datasets=(args.dataset,),
+            seeds=(args.seed,), epochs=args.epochs,
+            backend=args.backend or _current_backend_name())
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _run_spec(args, spec, command="ablation",
+                     workdir=args.workdir, workers=args.workers)
 
 
 def cmd_cases(args) -> int:
-    from repro.core import LogiRecConfig, LogiRecPP
-    from repro.data import load_dataset, temporal_split
-    from repro.eval import Evaluator
-    from repro.experiments import case_studies
     from repro.experiments.cases import format_case_table
-    from repro.experiments.runner import LAMBDA_BY_DATASET
-    dataset = load_dataset(args.dataset)
-    split = temporal_split(dataset)
-    config = LogiRecConfig(
-        epochs=args.epochs if args.epochs else 150,
-        lam=LAMBDA_BY_DATASET.get(args.dataset, 1.0), seed=args.seed)
-    model = LogiRecPP(dataset.n_users, dataset.n_items, dataset.n_tags,
-                      config)
-    model.fit(dataset, split, evaluator=Evaluator(dataset, split))
-    print(format_case_table(case_studies(model, dataset, split)))
-    return 0
+    from repro.experiments.dag import ExperimentSpec, SpecError
+    try:
+        spec = ExperimentSpec(
+            kind="cases", datasets=(args.dataset,), seeds=(args.seed,),
+            epochs=args.epochs,
+            backend=args.backend or _current_backend_name())
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _run_spec(
+        args, spec, command="cases", workdir=args.workdir,
+        workers=args.workers,
+        render=lambda result: format_case_table(result.cases()))
 
 
 def cmd_obs(args) -> int:
@@ -993,6 +1213,7 @@ def cmd_online(args) -> int:
 COMMANDS = {
     "stats": cmd_stats,
     "train": cmd_train,
+    "exp": cmd_exp,
     "compare": cmd_compare,
     "ablation": cmd_ablation,
     "cases": cmd_cases,

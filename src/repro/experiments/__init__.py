@@ -11,8 +11,28 @@ Each module regenerates one artifact of the paper's evaluation:
   and embedding visualizations / separation scores (Fig. 7-8);
 * :mod:`repro.experiments.cases` — tag-based user profiles with CON/GR/
   alpha (Table V).
+
+Since PR 10 every runner is a thin wrapper over the resumable DAG in
+:mod:`repro.experiments.dag`: declare an :class:`ExperimentSpec`, call
+:func:`run_experiment`, and get an :class:`ExperimentResult` whose
+accessors reproduce each table.  The legacy ``run_*`` signatures remain
+as :class:`DeprecationWarning` shims forwarding through the same path.
 """
 
+from repro.experiments.dag import (
+    CacheStats,
+    ExperimentError,
+    ExperimentGraph,
+    ExperimentResult,
+    ExperimentSpec,
+    ResultStore,
+    SpecError,
+    clean_experiment,
+    compile_spec,
+    experiment_status,
+    load_experiment,
+    run_experiment,
+)
 from repro.experiments.runner import (
     MODEL_ZOO,
     build_model,
@@ -31,7 +51,7 @@ from repro.experiments.figures import (
     embedding_projection,
     tag_separation_scores,
 )
-from repro.experiments.cases import case_studies
+from repro.experiments.cases import case_rows, case_studies
 from repro.experiments.search import format_search_trace, grid_search
 from repro.experiments.robustness import (
     corrupt_taxonomy,
@@ -40,6 +60,19 @@ from repro.experiments.robustness import (
 )
 
 __all__ = [
+    "CacheStats",
+    "ExperimentError",
+    "ExperimentGraph",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "ResultStore",
+    "SpecError",
+    "clean_experiment",
+    "compile_spec",
+    "experiment_status",
+    "load_experiment",
+    "run_experiment",
+    "case_rows",
     "MODEL_ZOO",
     "build_model",
     "run_model",

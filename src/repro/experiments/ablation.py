@@ -18,10 +18,7 @@ from dataclasses import replace
 from typing import Dict, Optional, Sequence
 
 from repro.core import LogiRec, LogiRecConfig, LogiRecPP
-from repro.data import InteractionDataset, load_dataset, temporal_split
-from repro.eval import Evaluator
-from repro.experiments.runner import (LAMBDA_BY_DATASET,
-                                      LAYERS_BY_DATASET)
+from repro.data import InteractionDataset
 
 
 def _variant_model(variant: str, dataset: InteractionDataset,
@@ -62,26 +59,24 @@ def run_ablation(dataset_names: Sequence[str] = ("ciao", "cd"),
                  ks: Sequence[int] = (10, 20)) -> Dict[str, dict]:
     """Table III: evaluate every variant on every dataset.
 
+    .. deprecated:: PR10
+        Build an :class:`~repro.experiments.dag.ExperimentSpec` with
+        ``kind="ablation"`` and call
+        :func:`~repro.experiments.dag.run_experiment` instead.
+
     Returns ``{dataset: {variant: {metric: value}}}`` (percent).
     """
-    variants = list(variants) if variants else ABLATIONS
-    out: Dict[str, dict] = {}
-    for ds_name in dataset_names:
-        dataset = load_dataset(ds_name)
-        split = temporal_split(dataset)
-        evaluator = Evaluator(dataset, split, ks=ks)
-        base = LogiRecConfig(dim=16, epochs=epochs if epochs else 300,
-                             batch_size=4096, lr=0.01, margin=0.5,
-                             n_negatives=2,
-                             lam=LAMBDA_BY_DATASET.get(ds_name, 1.0),
-                             n_layers=LAYERS_BY_DATASET.get(ds_name, 3),
-                             seed=seed)
-        out[ds_name] = {}
-        for variant in variants:
-            model = _variant_model(variant, dataset, base)
-            model.fit(dataset, split, evaluator=evaluator)
-            out[ds_name][variant] = evaluator.evaluate_test(model).means
-    return out
+    import warnings
+    warnings.warn(
+        "run_ablation(...) is deprecated; use "
+        "ExperimentSpec(kind='ablation', ...) with run_experiment()",
+        DeprecationWarning, stacklevel=2)
+    from repro.experiments.dag import ExperimentSpec, run_experiment
+    spec = ExperimentSpec(
+        kind="ablation", datasets=tuple(dataset_names),
+        variants=tuple(variants) if variants else (),
+        seeds=(int(seed),), epochs=epochs, ks=tuple(ks))
+    return run_experiment(spec).ablation()
 
 
 def format_ablation_table(results: Dict[str, dict]) -> str:

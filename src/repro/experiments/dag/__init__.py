@@ -1,0 +1,48 @@
+"""``repro.experiments.dag`` — resumable experiment orchestration.
+
+One schema in (:class:`ExperimentSpec`), one schema out
+(:class:`ExperimentResult`): a spec compiles to a DAG of cacheable
+nodes (:mod:`~repro.experiments.dag.graph`), a process-pool scheduler
+(:mod:`~repro.experiments.dag.scheduler`) executes the incomplete ones
+against a config-hash-keyed result store
+(:mod:`~repro.experiments.dag.store`), and section aggregates
+(:mod:`~repro.experiments.dag.results`) reproduce the paper's tables.
+See DESIGN.md §14.
+"""
+
+from repro.experiments.dag.api import (clean_experiment,
+                                       experiment_status,
+                                       load_experiment, run_experiment)
+from repro.experiments.dag.executor import ExperimentError, execute_node
+from repro.experiments.dag.graph import (ExperimentGraph, Node,
+                                         compile_spec)
+from repro.experiments.dag.results import (ExperimentResult,
+                                           aggregate_section)
+from repro.experiments.dag.scheduler import run_graph
+from repro.experiments.dag.spec import (ALL_DATASETS, SPEC_KINDS,
+                                        ExperimentSpec, SpecError,
+                                        canonical_json, digest)
+from repro.experiments.dag.store import CacheStats, ResultStore
+
+__all__ = [
+    "ALL_DATASETS",
+    "SPEC_KINDS",
+    "CacheStats",
+    "ExperimentError",
+    "ExperimentGraph",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "Node",
+    "ResultStore",
+    "SpecError",
+    "aggregate_section",
+    "canonical_json",
+    "clean_experiment",
+    "compile_spec",
+    "digest",
+    "execute_node",
+    "experiment_status",
+    "load_experiment",
+    "run_experiment",
+    "run_graph",
+]

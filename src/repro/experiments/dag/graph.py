@@ -1,0 +1,353 @@
+"""Compile an :class:`ExperimentSpec` into a DAG of cacheable nodes.
+
+Node kinds
+----------
+``dataset``
+    Build (and for robustness, corrupt) one dataset realization and
+    record its statistics.  Workers regenerate datasets in-process from
+    the same payload — the registry is deterministic — so only the
+    stats record crosses process boundaries.
+``train``
+    Train one model configuration and persist it in the PR4 checkpoint
+    format under the node's cache directory, supervised by
+    :class:`repro.robust.TrainingSupervisor` so a killed run resumes
+    from its auto-checkpoint bit-identically.
+``eval``
+    Load the checkpointed model and compute per-user Recall/NDCG
+    vectors on the test split.
+``cases``
+    Table-V rows from a trained LogiRec++ checkpoint.
+``aggregate``
+    Reduce every evaluation of one experiment section into the typed
+    result record (means ± std, significance, tables).  Always executed
+    in the parent process.
+
+Keys
+----
+``node.key`` is ``"<kind>-" + sha256(kind, payload, dep keys)[:12]`` —
+a pure function of everything that determines the node's result.  Two
+specs that share work (e.g. the grid's comparison and ablation sections
+both training LogiRec++ on cd with the same budget) compile to nodes
+with equal keys, and the scheduler runs the work once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.dag.spec import ExperimentSpec, digest
+
+NODE_KINDS = ("dataset", "train", "eval", "cases", "aggregate")
+
+
+@dataclass(frozen=True)
+class Node:
+    """One cacheable unit of work."""
+
+    kind: str
+    label: str                      # human-readable, e.g. train:BPRMF:cd:s0
+    payload: Dict[str, object]      # JSON-safe; fully determines the result
+    deps: Tuple[str, ...] = ()      # keys of prerequisite nodes
+    key: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if self.kind not in NODE_KINDS:
+            raise ValueError(f"unknown node kind {self.kind!r}")
+        if not self.key:
+            body = {"kind": self.kind, "payload": self.payload,
+                    "deps": sorted(self.deps)}
+            object.__setattr__(self, "key",
+                               f"{self.kind}-{digest(body)}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "label": self.label,
+                "payload": self.payload, "deps": list(self.deps),
+                "key": self.key}
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Node":
+        return cls(kind=record["kind"], label=record["label"],
+                   payload=record["payload"],
+                   deps=tuple(record["deps"]), key=record["key"])
+
+
+class ExperimentGraph:
+    """Nodes keyed by config hash, deduplicated, topologically ordered."""
+
+    def __init__(self):
+        self.nodes: Dict[str, Node] = {}
+        #: aggregate-node key per section kind (a grid has several).
+        self.sections: Dict[str, str] = {}
+
+    def add(self, node: Node) -> Node:
+        """Insert (or return the existing identical) node."""
+        existing = self.nodes.get(node.key)
+        if existing is not None:
+            return existing
+        for dep in node.deps:
+            if dep not in self.nodes:
+                raise ValueError(f"node {node.label} depends on unknown "
+                                 f"node key {dep}")
+        self.nodes[node.key] = node
+        return node
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def topo_order(self) -> List[str]:
+        """Deterministic topological order (insertion-stable)."""
+        order: List[str] = []
+        done = set()
+        # Insertion order already respects dependencies (add() rejects
+        # forward references), so one pass suffices; assert anyway.
+        for key, node in self.nodes.items():
+            missing = [d for d in node.deps if d not in done]
+            if missing:
+                raise ValueError(f"cycle or forward reference at "
+                                 f"{node.label}: {missing}")
+            order.append(key)
+            done.add(key)
+        return order
+
+    def by_kind(self, kind: str) -> List[Node]:
+        return [n for n in self.nodes.values() if n.kind == kind]
+
+
+# ----------------------------------------------------------------------
+# Spec -> graph compilation
+# ----------------------------------------------------------------------
+def _dataset_node(graph: ExperimentGraph, name: str, scale: float,
+                  fraction: float = 0.0, corrupt_seed: int = 0) -> Node:
+    payload = {"name": name, "scale": scale}
+    label = f"dataset:{name}"
+    if fraction > 0.0:
+        payload.update({"fraction": fraction,
+                        "corrupt_seed": int(corrupt_seed)})
+        label += f":f{fraction:g}"
+    return graph.add(Node("dataset", label, payload))
+
+
+def _train_node(graph: ExperimentGraph, ds_node: Node, *, builder: str,
+                label: str, backend: str, seed: int,
+                epochs: Optional[int], ks: Tuple[int, ...],
+                **extra) -> Node:
+    payload = {"builder": builder, "dataset": ds_node.payload,
+               "seed": int(seed), "epochs": epochs, "ks": list(ks),
+               "backend": backend}
+    payload.update(extra)
+    return graph.add(Node("train", label, payload, deps=(ds_node.key,)))
+
+
+def _eval_node(graph: ExperimentGraph, ds_node: Node, train: Node,
+               ks: Tuple[int, ...], backend: str, **meta) -> Node:
+    payload = {"dataset": ds_node.payload, "train": train.key,
+               "ks": list(ks), "backend": backend}
+    payload.update(meta)
+    label = "eval:" + train.label.split(":", 1)[1]
+    return graph.add(Node("eval", label, payload,
+                          deps=(ds_node.key, train.key)))
+
+
+def _aggregate_node(graph: ExperimentGraph, section: str,
+                    entries: List[Dict[str, object]],
+                    meta: Dict[str, object]) -> Node:
+    deps = tuple(dict.fromkeys(e["key"] for e in entries))
+    payload = {"section": section, "entries": entries, "meta": meta}
+    node = graph.add(Node("aggregate", f"aggregate:{section}", payload,
+                          deps=deps))
+    graph.sections[section] = node.key
+    return node
+
+
+def compile_spec(spec: ExperimentSpec) -> ExperimentGraph:
+    """Compile the spec into its node graph (shared nodes deduplicated)."""
+    graph = ExperimentGraph()
+    if spec.kind == "grid":
+        for section in _grid_sections(spec):
+            _compile_section(section, graph)
+    else:
+        _compile_section(spec, graph)
+    return graph
+
+
+def _grid_sections(spec: ExperimentSpec) -> List[ExperimentSpec]:
+    """The full paper grid: one section spec per table/figure."""
+    common = dict(seeds=spec.seeds, ks=spec.ks, epochs=spec.epochs,
+                  backend=spec.backend, scale=spec.scale)
+    narrow = tuple(d for d in ("ciao", "cd") if d in spec.datasets) \
+        or spec.datasets[:1]
+    single = ("cd",) if "cd" in spec.datasets else spec.datasets[:1]
+    return [
+        ExperimentSpec(kind="comparison", datasets=spec.datasets,
+                       models=spec.models, **common),
+        ExperimentSpec(kind="ablation", datasets=narrow,
+                       variants=spec.variants, **common),
+        ExperimentSpec(kind="sweep", datasets=single, params=spec.params,
+                       **common),
+        ExperimentSpec(kind="lambda", datasets=narrow,
+                       lambdas=spec.lambdas, baseline=spec.baseline,
+                       **common),
+        ExperimentSpec(kind="robustness", datasets=single,
+                       fractions=spec.fractions, **common),
+        ExperimentSpec(kind="cases", datasets=single, **common),
+    ]
+
+
+def _compile_section(spec: ExperimentSpec, graph: ExperimentGraph) -> None:
+    build = _SECTION_COMPILERS[spec.kind]
+    build(spec, graph)
+
+
+def _compile_comparison(spec: ExperimentSpec,
+                        graph: ExperimentGraph) -> None:
+    entries: List[Dict[str, object]] = []
+    for ds_name in spec.datasets:
+        ds_node = _dataset_node(graph, ds_name, spec.scale)
+        for seed in spec.seeds:
+            for model in spec.models:
+                train = _train_node(
+                    graph, ds_node, builder="zoo",
+                    label=f"train:{model}:{ds_name}:s{seed}",
+                    backend=spec.backend, seed=seed, epochs=spec.epochs,
+                    ks=spec.ks, model=model)
+                ev = _eval_node(graph, ds_node, train, spec.ks,
+                                spec.backend)
+                entries.append({"key": ev.key, "dataset": ds_name,
+                                "model": model, "seed": seed})
+    _aggregate_node(graph, "comparison", entries,
+                    {"models": list(spec.models),
+                     "datasets": list(spec.datasets),
+                     "seeds": list(spec.seeds), "ks": list(spec.ks)})
+
+
+def _compile_ablation(spec: ExperimentSpec,
+                      graph: ExperimentGraph) -> None:
+    entries: List[Dict[str, object]] = []
+    for ds_name in spec.datasets:
+        ds_node = _dataset_node(graph, ds_name, spec.scale)
+        for seed in spec.seeds:
+            for variant in spec.variants:
+                slug = variant.replace(" ", "_").replace("/", "")
+                train = _train_node(
+                    graph, ds_node, builder="ablation",
+                    label=f"train:{slug}:{ds_name}:s{seed}",
+                    backend=spec.backend, seed=seed, epochs=spec.epochs,
+                    ks=spec.ks, variant=variant)
+                ev = _eval_node(graph, ds_node, train, spec.ks,
+                                spec.backend)
+                entries.append({"key": ev.key, "dataset": ds_name,
+                                "variant": variant, "seed": seed})
+    _aggregate_node(graph, "ablation", entries,
+                    {"variants": list(spec.variants),
+                     "datasets": list(spec.datasets),
+                     "seeds": list(spec.seeds)})
+
+
+def _compile_sweep(spec: ExperimentSpec, graph: ExperimentGraph) -> None:
+    from repro.experiments.sweeps import HYPERPARAM_GRID
+    seed = spec.seeds[0]
+    entries: List[Dict[str, object]] = []
+    for ds_name in spec.datasets:
+        ds_node = _dataset_node(graph, ds_name, spec.scale)
+        for param in spec.params:
+            for value in HYPERPARAM_GRID[param]:
+                train = _train_node(
+                    graph, ds_node, builder="sweep",
+                    label=f"train:sweep_{param}={value:g}:{ds_name}"
+                          f":s{seed}",
+                    backend=spec.backend, seed=seed, epochs=spec.epochs,
+                    ks=spec.ks, param=param, value=value)
+                ev = _eval_node(graph, ds_node, train, spec.ks,
+                                spec.backend)
+                entries.append({"key": ev.key, "dataset": ds_name,
+                                "param": param, "value": value,
+                                "seed": seed})
+    _aggregate_node(graph, "sweep", entries,
+                    {"params": list(spec.params),
+                     "datasets": list(spec.datasets)})
+
+
+def _compile_lambda(spec: ExperimentSpec, graph: ExperimentGraph) -> None:
+    seed = spec.seeds[0]
+    entries: List[Dict[str, object]] = []
+    for ds_name in spec.datasets:
+        ds_node = _dataset_node(graph, ds_name, spec.scale)
+        base = _train_node(
+            graph, ds_node, builder="zoo",
+            label=f"train:{spec.baseline}:{ds_name}:s{seed}",
+            backend=spec.backend, seed=seed, epochs=spec.epochs,
+            ks=spec.ks, model=spec.baseline)
+        ev = _eval_node(graph, ds_node, base, spec.ks, spec.backend)
+        entries.append({"key": ev.key, "dataset": ds_name,
+                        "role": "baseline", "model": spec.baseline,
+                        "seed": seed})
+        for lam in spec.lambdas:
+            train = _train_node(
+                graph, ds_node, builder="sweep",
+                label=f"train:sweep_lam={lam:g}:{ds_name}:s{seed}",
+                backend=spec.backend, seed=seed, epochs=spec.epochs,
+                ks=spec.ks, param="lam", value=lam)
+            ev = _eval_node(graph, ds_node, train, spec.ks, spec.backend)
+            entries.append({"key": ev.key, "dataset": ds_name,
+                            "role": "series", "lam": lam, "seed": seed})
+    _aggregate_node(graph, "lambda", entries,
+                    {"baseline": spec.baseline,
+                     "lambdas": list(spec.lambdas),
+                     "datasets": list(spec.datasets)})
+
+
+def _compile_robustness(spec: ExperimentSpec,
+                        graph: ExperimentGraph) -> None:
+    seed = spec.seeds[0]
+    entries: List[Dict[str, object]] = []
+    ds_name = spec.datasets[0]
+    for fraction in spec.fractions:
+        ds_node = _dataset_node(graph, ds_name, spec.scale,
+                                fraction=fraction, corrupt_seed=seed)
+        for model in ("LogiRec", "LogiRec++"):
+            slug = model.replace("+", "p")
+            suffix = f":f{fraction:g}" if fraction > 0 else ""
+            train = _train_node(
+                graph, ds_node, builder="robustness",
+                label=f"train:{slug}:{ds_name}{suffix}:s{seed}",
+                backend=spec.backend, seed=seed, epochs=spec.epochs,
+                ks=spec.ks, model=model)
+            ev = _eval_node(graph, ds_node, train, spec.ks, spec.backend)
+            entries.append({"key": ev.key, "dataset": ds_name,
+                            "model": model, "fraction": fraction,
+                            "seed": seed})
+    _aggregate_node(graph, "robustness", entries,
+                    {"dataset": ds_name,
+                     "fractions": list(spec.fractions)})
+
+
+def _compile_cases(spec: ExperimentSpec, graph: ExperimentGraph) -> None:
+    seed = spec.seeds[0]
+    entries: List[Dict[str, object]] = []
+    for ds_name in spec.datasets:
+        ds_node = _dataset_node(graph, ds_name, spec.scale)
+        train = _train_node(
+            graph, ds_node, builder="cases",
+            label=f"train:cases:{ds_name}:s{seed}",
+            backend=spec.backend, seed=seed, epochs=spec.epochs,
+            ks=spec.ks)
+        case = graph.add(Node(
+            "cases", f"cases:{ds_name}:s{seed}",
+            {"dataset": ds_node.payload, "train": train.key,
+             "top_k": 6, "max_tags": 5, "backend": spec.backend},
+            deps=(ds_node.key, train.key)))
+        entries.append({"key": case.key, "dataset": ds_name,
+                        "seed": seed})
+    _aggregate_node(graph, "cases", entries,
+                    {"datasets": list(spec.datasets)})
+
+
+_SECTION_COMPILERS = {
+    "comparison": _compile_comparison,
+    "ablation": _compile_ablation,
+    "sweep": _compile_sweep,
+    "lambda": _compile_lambda,
+    "robustness": _compile_robustness,
+    "cases": _compile_cases,
+}

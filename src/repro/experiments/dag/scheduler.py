@@ -1,0 +1,133 @@
+"""Cache-aware DAG scheduler over a ``concurrent.futures`` process pool.
+
+Execution policy:
+
+* A node whose ``result.json`` already exists under the store is a cache
+  hit — skipped entirely, counted in :class:`CacheStats`.
+* ``aggregate`` nodes always run in the parent process (they are cheap
+  reductions over already-persisted results).
+* With ``workers <= 1`` or an in-memory store, every node runs inline in
+  the parent — this is also the only mode that honors ``fault_plans``
+  (injected kills must hit a process whose lifetime the test controls).
+* Otherwise ready nodes are dispatched to a ``ProcessPoolExecutor``
+  wave by wave; each worker re-selects the tensor backend and quiesces
+  inherited telemetry via :func:`repro.experiments.dag.executor.pool_initializer`.
+
+Every node emits an obs span (inline) or trace event (pool/cached), so
+a run's cost decomposes per node kind in the telemetry tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import obs
+from repro.experiments.dag.executor import (ExperimentError, execute_node,
+                                            pool_execute,
+                                            pool_initializer)
+from repro.experiments.dag.graph import ExperimentGraph, Node
+from repro.experiments.dag.store import CacheStats, ResultStore
+
+
+def _run_inline(node: Node, store: ResultStore, fault_plan) -> dict:
+    with obs.trace("exp.node", kind=node.kind, label=node.label):
+        try:
+            return execute_node(node, store, fault_plan=fault_plan)
+        except ExperimentError:
+            raise
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            raise ExperimentError(node.label, exc) from exc
+
+
+def run_graph(graph: ExperimentGraph, store: ResultStore, *,
+              workers: int = 0, backend: Optional[str] = None,
+              fault_plans: Optional[Dict[str, object]] = None,
+              ) -> CacheStats:
+    """Execute every incomplete node of the graph; returns cache stats.
+
+    ``fault_plans`` maps node labels to :class:`repro.robust.FaultPlan`
+    instances (tests only; inline mode only).
+    """
+    fault_plans = fault_plans or {}
+    stats = CacheStats()
+    order = graph.topo_order()
+    pool_mode = workers > 1 and store.persistent
+
+    todo = []
+    for key in order:
+        node = graph.nodes[key]
+        if store.has(key):
+            stats.record(node.kind, cached=True)
+            obs.count("exp/cache_hit")
+            obs.trace_event("exp.node.cached", kind=node.kind,
+                            label=node.label, key=key)
+        else:
+            todo.append(key)
+
+    if not pool_mode:
+        for key in todo:
+            node = graph.nodes[key]
+            result = _run_inline(node, store,
+                                 fault_plans.get(node.label))
+            store.save(key, result)
+            stats.record(node.kind, cached=False)
+            obs.count("exp/node_executed")
+        return stats
+
+    from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                    wait)
+    done = set(order) - set(todo)
+    pending = list(todo)
+    with ProcessPoolExecutor(max_workers=workers,
+                             initializer=pool_initializer,
+                             initargs=(backend,)) as pool:
+        in_flight = {}
+        while pending or in_flight:
+            # Dispatch every node whose dependencies are satisfied.
+            still_blocked = []
+            for key in pending:
+                node = graph.nodes[key]
+                if any(dep not in done for dep in node.deps):
+                    still_blocked.append(key)
+                    continue
+                if node.kind == "aggregate":
+                    # Cheap parent-side reduction over stored results.
+                    result = _run_inline(node, store, None)
+                    store.save(key, result)
+                    stats.record(node.kind, cached=False)
+                    obs.count("exp/node_executed")
+                    done.add(key)
+                    continue
+                future = pool.submit(pool_execute, node.to_dict(),
+                                     str(store.root), backend)
+                in_flight[future] = key
+                obs.trace_event("exp.node.dispatched", kind=node.kind,
+                                label=node.label, key=key)
+            made_progress = len(still_blocked) < len(pending)
+            pending = still_blocked
+            if not in_flight:
+                if pending and not made_progress:
+                    raise ExperimentError(
+                        graph.nodes[pending[0]].label,
+                        RuntimeError("unsatisfiable dependencies"))
+                continue
+            finished, _ = wait(list(in_flight),
+                               return_when=FIRST_COMPLETED)
+            for future in finished:
+                key = in_flight.pop(future)
+                node = graph.nodes[key]
+                try:
+                    _, result = future.result()
+                except BaseException as exc:
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    raise ExperimentError(node.label, exc) from exc
+                store.save(key, result)
+                stats.record(node.kind, cached=False)
+                obs.count("exp/node_executed")
+                obs.trace_event("exp.node.completed", kind=node.kind,
+                                label=node.label, key=key)
+                done.add(key)
+    return stats

@@ -18,9 +18,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.core import LogiRec, LogiRecConfig, LogiRecPP
-from repro.data import InteractionDataset, load_dataset, temporal_split
-from repro.eval import Evaluator
+from repro.data import InteractionDataset
 from repro.taxonomy import Taxonomy, extract_relations
 
 
@@ -71,28 +69,28 @@ def run_noise_robustness(dataset_name: str = "cd",
                          seed: int = 0) -> Dict[float, Dict[str, dict]]:
     """Recall/NDCG of LogiRec vs LogiRec++ under taxonomy corruption.
 
+    .. deprecated:: PR10
+        Build an :class:`~repro.experiments.dag.ExperimentSpec` with
+        ``kind="robustness"`` and call
+        :func:`~repro.experiments.dag.run_experiment` instead.  Each
+        fraction's corruption now draws from an independent
+        ``(seed, fraction)``-keyed RNG stream instead of one sequential
+        stream, so a fraction's realization no longer depends on which
+        other fractions ran before it (a prerequisite for caching
+        per-fraction nodes independently).
+
     Returns ``{fraction: {"LogiRec": metrics, "LogiRec++": metrics}}``.
     """
-    base = load_dataset(dataset_name)
-    rng = np.random.default_rng(seed)
-    out: Dict[float, Dict[str, dict]] = {}
-    for fraction in fractions:
-        if fraction > 0:
-            taxonomy = corrupt_taxonomy(base.taxonomy, fraction, rng)
-            dataset = _with_taxonomy(base, taxonomy)
-        else:
-            dataset = base
-        split = temporal_split(dataset)
-        evaluator = Evaluator(dataset, split)
-        config = LogiRecConfig(dim=16, epochs=epochs if epochs else 150,
-                               lam=2.0, seed=seed)
-        out[fraction] = {}
-        for name, cls in (("LogiRec", LogiRec), ("LogiRec++", LogiRecPP)):
-            model = cls(dataset.n_users, dataset.n_items, dataset.n_tags,
-                        config)
-            model.fit(dataset, split, evaluator=evaluator)
-            out[fraction][name] = evaluator.evaluate_test(model).means
-    return out
+    import warnings
+    warnings.warn(
+        "run_noise_robustness(...) is deprecated; use "
+        "ExperimentSpec(kind='robustness', ...) with run_experiment()",
+        DeprecationWarning, stacklevel=2)
+    from repro.experiments.dag import ExperimentSpec, run_experiment
+    spec = ExperimentSpec(
+        kind="robustness", datasets=(str(dataset_name),),
+        fractions=tuple(fractions), seeds=(int(seed),), epochs=epochs)
+    return run_experiment(spec).robustness()
 
 
 def format_robustness_table(results: Dict[float, Dict[str, dict]],

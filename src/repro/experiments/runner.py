@@ -16,7 +16,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.core import LogiRec, LogiRecConfig, LogiRecPP
-from repro.data import InteractionDataset, load_dataset, temporal_split
+from repro.data import InteractionDataset
 from repro.data.dataset import Split
 from repro.eval import Evaluator, wilcoxon_improvement
 from repro.models import (AGCN, AMF, BPRMF, CML, CMLF, GDCF, HGCF, HRCF,
@@ -119,39 +119,29 @@ def run_comparison(model_names: Optional[Iterable[str]] = None,
                    epochs_override: Optional[int] = None) -> dict:
     """Table II: every model on every dataset over seeds.
 
+    .. deprecated:: PR10
+        Build an :class:`~repro.experiments.dag.ExperimentSpec` with
+        ``kind="comparison"`` and call
+        :func:`~repro.experiments.dag.run_experiment` instead; this shim
+        forwards through the same spec→graph→scheduler path and rebuilds
+        the legacy return shape.
+
     Returns ``{dataset: {model: {metric: (mean, std)}}}`` plus per-user
     vectors of the last seed for significance testing under the key
     ``"_per_user"``.
     """
-    model_names = list(model_names) if model_names else ALL_MODEL_NAMES
-    out: dict = {}
-    for ds_name in dataset_names:
-        out[ds_name] = {}
-        per_user: dict = {}
-        # The dataset realization is fixed (registry seed); run seeds vary
-        # model initialization and sampling, matching the paper's protocol
-        # of repeated runs on one dataset.
-        dataset = load_dataset(ds_name)
-        split = temporal_split(dataset)
-        for seed in seeds:
-            evaluator = Evaluator(dataset, split, ks=ks)
-            for model_name in model_names:
-                model = build_model(model_name, dataset, seed)
-                if epochs_override is not None:
-                    model.config.epochs = epochs_override
-                model.fit(dataset, split, evaluator=evaluator)
-                result = evaluator.evaluate_test(model)
-                store = out[ds_name].setdefault(model_name, {})
-                for metric, value in result.means.items():
-                    store.setdefault(metric, []).append(value)
-                per_user[model_name] = result.per_user
-        for model_name in model_names:
-            store = out[ds_name][model_name]
-            for metric in list(store):
-                values = np.asarray(store[metric])
-                store[metric] = (float(values.mean()), float(values.std()))
-        out[ds_name]["_per_user"] = per_user
-    return out
+    import warnings
+    warnings.warn(
+        "run_comparison(model_names=..., dataset_names=...) is "
+        "deprecated; use ExperimentSpec(kind='comparison', ...) with "
+        "run_experiment()", DeprecationWarning, stacklevel=2)
+    from repro.experiments.dag import ExperimentSpec, run_experiment
+    spec = ExperimentSpec(
+        kind="comparison",
+        models=tuple(model_names) if model_names else (),
+        datasets=tuple(dataset_names), seeds=tuple(seeds),
+        ks=tuple(ks), epochs=epochs_override)
+    return run_experiment(spec).comparison()
 
 
 

@@ -8,14 +8,11 @@ equivalent capacity sweep is {8, 16, 32}.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, Optional, Sequence
 
-from repro.core import LogiRecConfig, LogiRecPP
-from repro.data import load_dataset, temporal_split
-from repro.eval import Evaluator
+from repro.core import LogiRecConfig
 from repro.experiments.runner import (LAMBDA_BY_DATASET,
-                                      LAYERS_BY_DATASET, build_model)
+                                      LAYERS_BY_DATASET)
 
 # One-at-a-time grids, mirroring Table IV's rows.
 HYPERPARAM_GRID = {
@@ -43,26 +40,24 @@ def run_hyperparameter_study(dataset_names: Sequence[str] = ("cd",),
                              ks: Sequence[int] = (10,)) -> Dict:
     """Table IV: sweep each hyperparameter one at a time.
 
+    .. deprecated:: PR10
+        Build an :class:`~repro.experiments.dag.ExperimentSpec` with
+        ``kind="sweep"`` and call
+        :func:`~repro.experiments.dag.run_experiment` instead.
+
     Returns ``{dataset: {param: {value: {metric: pct}}}}``.
     """
-    params = list(params) if params else list(HYPERPARAM_GRID)
-    out: Dict = {}
-    for ds_name in dataset_names:
-        dataset = load_dataset(ds_name)
-        split = temporal_split(dataset)
-        evaluator = Evaluator(dataset, split, ks=ks)
-        base = _base_config(ds_name, seed, epochs)
-        out[ds_name] = {}
-        for param in params:
-            out[ds_name][param] = {}
-            for value in HYPERPARAM_GRID[param]:
-                cfg = replace(base, **{param: value})
-                model = LogiRecPP(dataset.n_users, dataset.n_items,
-                                  dataset.n_tags, cfg)
-                model.fit(dataset, split, evaluator=evaluator)
-                result = evaluator.evaluate_test(model)
-                out[ds_name][param][value] = result.means
-    return out
+    import warnings
+    warnings.warn(
+        "run_hyperparameter_study(...) is deprecated; use "
+        "ExperimentSpec(kind='sweep', ...) with run_experiment()",
+        DeprecationWarning, stacklevel=2)
+    from repro.experiments.dag import ExperimentSpec, run_experiment
+    spec = ExperimentSpec(
+        kind="sweep", datasets=tuple(dataset_names),
+        params=tuple(params) if params else (),
+        seeds=(int(seed),), epochs=epochs, ks=tuple(ks))
+    return run_experiment(spec).sweep()
 
 
 def run_lambda_sweep(dataset_names: Sequence[str] = ("ciao", "cd"),
@@ -72,28 +67,22 @@ def run_lambda_sweep(dataset_names: Sequence[str] = ("ciao", "cd"),
                      ks: Sequence[int] = (10,)) -> Dict:
     """Fig. 6: Recall/NDCG@10 of LogiRec++ across λ vs a fixed baseline.
 
+    .. deprecated:: PR10
+        Build an :class:`~repro.experiments.dag.ExperimentSpec` with
+        ``kind="lambda"`` and call
+        :func:`~repro.experiments.dag.run_experiment` instead.
+
     Returns ``{dataset: {"baseline": {metric: pct},
     "series": {lam: {metric: pct}}}}``.
     """
-    out: Dict = {}
-    for ds_name in dataset_names:
-        dataset = load_dataset(ds_name)
-        split = temporal_split(dataset)
-        evaluator = Evaluator(dataset, split, ks=ks)
-        base_model = build_model(baseline, dataset, seed)
-        if epochs is not None:
-            base_model.config.epochs = epochs
-        base_model.fit(dataset, split, evaluator=evaluator)
-        out[ds_name] = {
-            "baseline": evaluator.evaluate_test(base_model).means,
-            "series": {},
-        }
-        cfg0 = _base_config(ds_name, seed, epochs)
-        for lam in lambdas:
-            cfg = replace(cfg0, lam=lam)
-            model = LogiRecPP(dataset.n_users, dataset.n_items,
-                              dataset.n_tags, cfg)
-            model.fit(dataset, split, evaluator=evaluator)
-            out[ds_name]["series"][lam] = (
-                evaluator.evaluate_test(model).means)
-    return out
+    import warnings
+    warnings.warn(
+        "run_lambda_sweep(...) is deprecated; use "
+        "ExperimentSpec(kind='lambda', ...) with run_experiment()",
+        DeprecationWarning, stacklevel=2)
+    from repro.experiments.dag import ExperimentSpec, run_experiment
+    spec = ExperimentSpec(
+        kind="lambda", datasets=tuple(dataset_names),
+        lambdas=tuple(lambdas), baseline=str(baseline),
+        seeds=(int(seed),), epochs=epochs, ks=tuple(ks))
+    return run_experiment(spec).lambda_sweep()
